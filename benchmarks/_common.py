@@ -1,0 +1,35 @@
+"""Shared helpers for the benchmark harness.
+
+Benches regenerate the paper's tables and figures at full Table I scale
+and print the rows/series the paper reports. Output goes through ``emit``,
+whose writer is swapped by ``conftest.py`` to bypass pytest's capture so
+``pytest benchmarks/ --benchmark-only`` shows the regenerated data
+alongside the timings.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+#: None = full Table I scale (the default used for reported results).
+SCALE_CAP: int | None = None
+
+_writer: Callable[[str], None] = print
+
+
+def set_writer(writer: Callable[[str], None]) -> None:
+    """Install the output writer (used by conftest to bypass capture)."""
+    global _writer
+    _writer = writer
+
+
+def emit(text: str) -> None:
+    """Print harness output through the installed writer."""
+    _writer(text)
+
+
+def banner(title: str) -> None:
+    emit("")
+    emit("=" * 78)
+    emit(title)
+    emit("=" * 78)

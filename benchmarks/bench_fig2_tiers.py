@@ -1,0 +1,41 @@
+"""Figure 2: tier fractions as a function of theta (0.1, 0.5, 1.0)."""
+
+import numpy as np
+
+from repro.evaluation.experiments import figure2_tiers
+from repro.evaluation.reporting import format_table
+
+from _common import SCALE_CAP, banner, emit
+
+THETAS = (0.1, 0.5, 1.0)
+
+
+def test_fig2_tier_fractions(benchmark):
+    rows = benchmark.pedantic(
+        figure2_tiers, args=(THETAS, SCALE_CAP), rounds=1, iterations=1
+    )
+    banner("Figure 2: invocation fractions in Tier-1/2/3 per theta")
+    headers = ["workload"] + [f"t1/t2/t3 @ θ={t}" for t in THETAS]
+    table_rows = []
+    for row in rows:
+        cells = [row["workload"]]
+        for theta in THETAS:
+            cells.append(
+                f"{row[f'tier1@{theta}']*100:3.0f}/"
+                f"{row[f'tier2@{theta}']*100:3.0f}/"
+                f"{row[f'tier3@{theta}']*100:3.0f}%"
+            )
+        table_rows.append(cells)
+    emit(format_table(headers, table_rows))
+
+    tier1 = float(np.mean([r[f"tier1@{THETAS[0]}"] for r in rows]))
+    tier2 = {t: float(np.mean([r[f"tier2@{t}"] for r in rows])) for t in THETAS}
+    emit(f"\navg Tier-1 fraction: {tier1*100:.0f}%   (paper: 41%)")
+    emit(
+        "avg Tier-2 fraction: "
+        + ", ".join(f"{tier2[t]*100:.0f}% @ θ={t}" for t in THETAS)
+        + "   (paper: 22% @ 0.1, 42% @ 0.5, 49% @ 1.0)"
+    )
+    # Shape assertions: most invocations are Tier-1/2, Tier-2 grows with θ.
+    assert tier1 > 0.25
+    assert tier2[1.0] > tier2[0.1]

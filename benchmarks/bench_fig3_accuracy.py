@@ -1,0 +1,36 @@
+"""Figure 3: prediction error for Sieve and PKS on Cactus + MLPerf."""
+
+from repro.evaluation.experiments import compare_methods, figure3_accuracy
+from repro.evaluation.reporting import format_table, percent
+
+from _common import SCALE_CAP, banner, emit
+
+
+def test_fig3_prediction_error(benchmark):
+    rows = benchmark.pedantic(
+        compare_methods, kwargs={"max_invocations": SCALE_CAP},
+        rounds=1, iterations=1,
+    )
+    banner("Figure 3: prediction error, Sieve vs PKS (Cactus + MLPerf)")
+    emit(format_table(
+        ["workload", "sieve_error", "pks_error", "sieve_reps", "pks_k"],
+        [
+            (r.workload, percent(r.sieve.error), percent(r.pks.error),
+             r.sieve.num_representatives,
+             getattr(r.pks.selection, "chosen_k", 0))
+            for r in rows
+        ],
+    ))
+    aggregate = figure3_accuracy(rows)
+    emit(
+        f"\nSieve: avg {percent(aggregate['sieve_avg'])}, "
+        f"max {percent(aggregate['sieve_max'])}   (paper: 1.2% avg, 3.2% max)"
+    )
+    emit(
+        f"PKS:   avg {percent(aggregate['pks_avg'])}, "
+        f"max {percent(aggregate['pks_max'])}   (paper: 16.5% avg, 60.4% max)"
+    )
+    # Shape: Sieve is substantially more accurate than PKS.
+    assert aggregate["sieve_avg"] < 0.05
+    assert aggregate["pks_avg"] > 3 * aggregate["sieve_avg"]
+    assert aggregate["pks_max"] > 0.10

@@ -1,0 +1,76 @@
+"""Section V-G: trace-driven simulation of the selected invocations.
+
+Regenerates (1) the serial/parallel simulation-time estimates at the
+paper's ~6 KIPS Accel-sim rate and (2) an actual cycle-level simulation of
+a handful of representative traces through the bundled simulator.
+"""
+
+from repro.core.pipeline import SievePipeline
+from repro.evaluation.context import build_context
+from repro.evaluation.reporting import format_table
+from repro.trace.simtime import estimate_simulation_time
+from repro.trace.simulator import SimulatorConfig, TraceSimulator
+from repro.trace.tracer import SelectionTracer, TracerConfig
+
+from _common import banner, emit
+
+#: A representative subset — one short and one long Cactus workload plus
+#: one MLPerf workload (full-scale selections; scaled traces).
+WORKLOADS = ("cactus/gru", "cactus/spt", "mlperf/ssd-resnet34")
+
+
+def _simulation_estimates():
+    rows = []
+    for label in WORKLOADS:
+        context = build_context(label)
+        selection = SievePipeline().select(context.sieve_table)
+        estimate = estimate_simulation_time(selection, context.golden)
+        rows.append(estimate)
+    return rows
+
+
+def test_secVG_simulation_time_estimates(benchmark):
+    estimates = benchmark.pedantic(_simulation_estimates, rounds=1, iterations=1)
+    banner("Section V-G: simulation time of the selected invocations @ 6 KIPS")
+    emit(format_table(
+        ["workload", "traces", "total_insn", "serial_days", "parallel_hours"],
+        [
+            (e.workload, e.num_traces, f"{e.total_instructions:.2e}",
+             f"{e.serial_days:.2f}", f"{e.parallel_hours:.2f}")
+            for e in estimates
+        ],
+    ))
+    emit("\npaper: serial < 2 days per workload (~1 B instructions average "
+         "per trace); parallel < 1 hour for most Cactus workloads")
+    for estimate in estimates:
+        assert estimate.parallel_seconds < estimate.serial_seconds
+
+
+def _simulate_traces():
+    context = build_context("cactus/gru")
+    selection = SievePipeline().select(context.sieve_table)
+    tracer = SelectionTracer(TracerConfig(max_warps=16, max_warp_instructions=512))
+    simulator = TraceSimulator(SimulatorConfig(num_sms=2))
+    results = []
+    for rep in selection.representatives[:4]:
+        trace = tracer.trace_invocation(context.run, rep.kernel_name,
+                                        rep.invocation_id)
+        results.append(simulator.simulate(trace))
+    return results
+
+
+def test_secVG_cycle_level_simulation(benchmark):
+    results = benchmark.pedantic(_simulate_traces, rounds=1, iterations=1)
+    banner("Section V-G: cycle-level simulation of representative traces")
+    emit(format_table(
+        ["kernel", "invocation", "cycles", "warp_insns", "ipc",
+         "l1_hit", "dram_reqs"],
+        [
+            (r.kernel_name, r.invocation_id, r.cycles, r.warp_instructions,
+             f"{r.ipc:.1f}", f"{r.l1_hit_rate:.2f}", r.dram_requests)
+            for r in results
+        ],
+    ))
+    for result in results:
+        assert result.cycles > 0
+        assert result.ipc > 0

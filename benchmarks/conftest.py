@@ -1,0 +1,20 @@
+"""Benchmark-harness conftest: route experiment output past capture."""
+
+import pytest
+
+import _common
+
+
+@pytest.fixture(autouse=True)
+def uncaptured_emit(request):
+    """Print bench tables through a capture-disabled writer so the
+    regenerated figures appear in the `pytest benchmarks/` output."""
+    capture_manager = request.config.pluginmanager.getplugin("capturemanager")
+
+    def writer(text: str) -> None:
+        with capture_manager.global_and_fixture_disabled():
+            print(text, flush=True)
+
+    _common.set_writer(writer)
+    yield
+    _common.set_writer(print)

@@ -1,0 +1,74 @@
+"""Architecture design-space exploration with a reusable Sieve selection.
+
+The point of microarchitecture-independent sampling: select representative
+invocations ONCE, then evaluate every candidate architecture by running
+only those representatives. This example sweeps a small design space
+around the RTX 3080 (SM count, memory bandwidth and the Turing
+configuration) and checks Sieve's predicted ranking against the full
+golden reference on each configuration — the Figure 9 use case
+generalized.
+
+Run:  python examples/design_space_exploration.py [workload]
+"""
+
+import dataclasses
+import sys
+
+from repro import (
+    AMPERE_RTX3080,
+    TURING_RTX2080TI,
+    HardwareExecutor,
+    NVBitProfiler,
+    SievePipeline,
+    generate,
+    spec_for,
+)
+from repro.evaluation.reporting import format_table, percent
+
+workload = sys.argv[1] if len(sys.argv) > 1 else "cactus/lgt"
+
+DESIGN_SPACE = {
+    "rtx3080 (baseline)": AMPERE_RTX3080,
+    "rtx2080ti": TURING_RTX2080TI,
+    "half-SMs": dataclasses.replace(AMPERE_RTX3080, name="half-sm", num_sms=34),
+    "low-bandwidth": dataclasses.replace(
+        AMPERE_RTX3080, name="low-bw", dram_bandwidth_gbs=380.0
+    ),
+    "high-bandwidth": dataclasses.replace(
+        AMPERE_RTX3080, name="high-bw", dram_bandwidth_gbs=1140.0
+    ),
+}
+
+run = generate(spec_for(workload))
+profile, _ = NVBitProfiler().profile(run)
+
+# Selection happens once: Sieve's representatives depend only on the
+# microarchitecture-independent profile.
+sieve = SievePipeline()
+selection = sieve.select(profile)
+print(f"{run.label}: {selection.num_representatives} representatives "
+      f"selected once, reused for every configuration\n")
+
+rows = []
+for label, arch in DESIGN_SPACE.items():
+    measurement = HardwareExecutor(arch).measure(run)
+    prediction = sieve.predict(selection, measurement)
+    true_seconds = measurement.wall_time_seconds
+    predicted_seconds = prediction.predicted_cycles / (arch.clock_ghz * 1e9)
+    rows.append(
+        (
+            label,
+            f"{true_seconds:.3f}s",
+            f"{predicted_seconds:.3f}s",
+            percent(abs(predicted_seconds - true_seconds) / true_seconds),
+        )
+    )
+
+print(format_table(
+    ["configuration", "true wall time", "predicted", "error"], rows
+))
+
+true_order = sorted(rows, key=lambda r: float(r[1][:-1]))
+predicted_order = sorted(rows, key=lambda r: float(r[2][:-1]))
+ranking_preserved = [r[0] for r in true_order] == [r[0] for r in predicted_order]
+print(f"\ndesign-space ranking preserved by Sieve: {ranking_preserved}")

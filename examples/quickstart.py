@@ -1,0 +1,57 @@
+"""Quickstart: sample one workload with Sieve and predict its performance.
+
+Runs the complete Figure 1 workflow on one Cactus workload:
+
+1. generate the workload (the synthetic stand-in for a real execution);
+2. profile it with the light-weight NVBit-style profiler (one
+   characteristic per invocation: dynamic instruction count);
+3. stratify and select representative kernel invocations with Sieve;
+4. "run" the representatives on the modeled RTX 3080 and predict the
+   whole application's cycle count;
+5. compare against the golden reference.
+
+Run:  python examples/quickstart.py [workload] [theta]
+"""
+
+import sys
+
+from repro import (
+    AMPERE_RTX3080,
+    HardwareExecutor,
+    NVBitProfiler,
+    SieveConfig,
+    SievePipeline,
+    generate,
+    spec_for,
+)
+
+workload = sys.argv[1] if len(sys.argv) > 1 else "cactus/lmc"
+theta = float(sys.argv[2]) if len(sys.argv) > 2 else 0.4
+
+# 1. The workload: kernels, invocations, launch shapes, instruction counts.
+run = generate(spec_for(workload))
+print(f"workload      : {run.label}")
+print(f"kernels       : {len(run.kernels)}")
+print(f"invocations   : {run.num_invocations:,}")
+print(f"instructions  : {run.total_instructions:.3e}")
+
+# 2. Profile: one pass, one characteristic (Section III-A).
+profile, cost = NVBitProfiler().profile(run)
+print(f"profiling     : {cost.total_seconds:,.0f} s modeled ({cost.tool})")
+
+# 3. Stratify + select representatives (Sections III-B and III-C).
+sieve = SievePipeline(SieveConfig(theta=theta))
+selection = sieve.select(profile)
+print(f"strata        : {len(selection.strata)} "
+      f"(theta = {theta}, one representative each)")
+
+# 4-5. Execute, predict, compare (Section III-D).
+golden = HardwareExecutor(AMPERE_RTX3080).measure(run)
+prediction = sieve.predict(selection, golden)
+error = prediction.error_against(golden.total_cycles)
+speedup = golden.total_cycles / selection.sample_cycles(golden)
+
+print(f"golden cycles : {golden.total_cycles:,}")
+print(f"predicted     : {prediction.predicted_cycles:,.0f}")
+print(f"error         : {error * 100:.2f}%")
+print(f"speedup       : {speedup:,.0f}x fewer cycles to simulate")

@@ -1,0 +1,76 @@
+"""Trace-driven simulation of Sieve's selection (Section V-G).
+
+Demonstrates the tail of the Sieve workflow: representative invocations
+become plain-text SASS-like trace files, which a cycle-level trace-driven
+simulator (a miniature Accel-sim) executes. Also shows the PKP-style
+IPC-convergence projection — the orthogonal speedup the paper notes can be
+stacked on top of any sampling method.
+
+Run:  python examples/trace_simulation.py [workload]
+"""
+
+import sys
+import tempfile
+from pathlib import Path
+
+from repro import NVBitProfiler, SievePipeline, generate, spec_for
+from repro.evaluation.reporting import format_table
+from repro.trace.projection import simulate_with_projection
+from repro.trace.simulator import SimulatorConfig, TraceSimulator
+from repro.trace.tracer import SelectionTracer, TracerConfig
+
+workload = sys.argv[1] if len(sys.argv) > 1 else "cactus/gru"
+
+run = generate(spec_for(workload))
+profile, _ = NVBitProfiler().profile(run)
+selection = SievePipeline().select(profile)
+print(f"{run.label}: {selection.num_representatives} representative "
+      f"invocations out of {run.num_invocations:,}\n")
+
+# 1. Emit plain-text traces for a handful of representatives.
+tracer = SelectionTracer(TracerConfig(max_warps=16, max_warp_instructions=512))
+subset = selection.representatives[:5]
+with tempfile.TemporaryDirectory() as tmp:
+    for rep in subset:
+        trace = tracer.trace_invocation(run, rep.kernel_name, rep.invocation_id)
+        path = Path(tmp) / f"{rep.kernel_name}_{rep.invocation_id}.trace"
+        from repro.trace.encoding import render_trace
+
+        path.write_text(render_trace(trace))
+        print(f"wrote {path.name}: {trace.num_warps} warps, "
+              f"{trace.num_instructions} warp-instructions, "
+              f"{path.stat().st_size / 1024:.0f} KiB")
+
+# 2. Simulate each trace cycle by cycle.
+simulator = TraceSimulator(SimulatorConfig(num_sms=2))
+rows = []
+for rep in subset:
+    trace = tracer.trace_invocation(run, rep.kernel_name, rep.invocation_id)
+    result = simulator.simulate(trace)
+    rows.append(
+        (rep.kernel_name, rep.invocation_id, result.cycles,
+         f"{result.ipc:.1f}", f"{result.l1_hit_rate:.2f}",
+         f"{result.l2_hit_rate:.2f}", result.dram_requests)
+    )
+print()
+print(format_table(
+    ["kernel", "invocation", "cycles", "ipc", "l1_hit", "l2_hit", "dram"],
+    rows,
+))
+
+# 3. PKP-style projection: stop once the running IPC converges.
+print("\nPKP-style projection (simulate warp batches until IPC converges):")
+rows = []
+for rep in subset[:3]:
+    trace = tracer.trace_invocation(run, rep.kernel_name, rep.invocation_id)
+    projection = simulate_with_projection(
+        trace, SimulatorConfig(num_sms=2), batch_warps=4, tolerance=0.12
+    )
+    rows.append(
+        (rep.kernel_name, projection.converged,
+         f"{projection.simulated_warp_fraction:.0%}",
+         f"{projection.projected_ipc:.1f}")
+    )
+print(format_table(
+    ["kernel", "converged", "warps simulated", "projected ipc"], rows
+))

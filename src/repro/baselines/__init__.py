@@ -1,0 +1,31 @@
+"""Baseline sampling methods.
+
+The paper's comparison point is Principal Kernel Selection (PKS, Baddouh
+et al., MICRO 2021): profile 12 microarchitecture-independent
+characteristics, reduce with PCA, cluster with k-means (k <= 20 chosen by
+golden-reference error), select one representative invocation per cluster,
+and predict application cycles as the invocation-count-weighted sum of
+representative cycle counts. Random and periodic samplers are included as
+classical statistical-sampling baselines.
+"""
+
+from repro.baselines.kmeans import KMeans, KMeansResult
+from repro.baselines.pca import PCA, PCAResult, standardize
+from repro.baselines.periodic import PeriodicSampler
+from repro.baselines.pks import PksConfig, PksPipeline, PksSelection
+from repro.baselines.pks_two_level import TwoLevelPksPipeline
+from repro.baselines.random_sampling import RandomSampler
+
+__all__ = [
+    "standardize",
+    "PCA",
+    "PCAResult",
+    "KMeans",
+    "KMeansResult",
+    "PksConfig",
+    "PksPipeline",
+    "PksSelection",
+    "TwoLevelPksPipeline",
+    "RandomSampler",
+    "PeriodicSampler",
+]

@@ -1,0 +1,209 @@
+"""Principal Kernel Selection (PKS) — the paper's state-of-the-art baseline.
+
+Implemented exactly as Section II-A describes:
+
+1. profile 12 microarchitecture-independent characteristics per invocation
+   (the Nsight profile table);
+2. standardize and reduce with PCA;
+3. cluster invocations with k-means for every k up to 20, computing the
+   prediction error of each k against a *golden reference* cycle count
+   measured on real hardware, and keep the k with the smallest error (the
+   dependence on a golden reference is the paper's "more technical
+   concern" about PKS);
+4. pick one representative invocation per cluster — first-chronological by
+   default, with random and centroid policies for the Figure 5 study;
+5. predict application cycles as the invocation-count-weighted sum of the
+   representatives' cycle counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.baselines.kmeans import BisectingKMeans
+from repro.baselines.pca import PCA
+from repro.core.prediction import PredictionResult
+from repro.core.types import Representative, SampleSelection
+from repro.gpu.hardware import WorkloadMeasurement
+from repro.profiling.table import ProfileTable
+from repro.utils.seeding import rng_for
+from repro.utils.validation import require
+
+PKS_SELECTION_POLICIES = ("first", "random", "centroid")
+
+
+@dataclass(frozen=True)
+class PksConfig:
+    """Tunable parameters of the PKS pipeline."""
+
+    max_k: int = 20
+    variance_target: float = 0.9
+    selection_policy: str = "first"
+    kmeans_iterations: int = 50
+    kmeans_fit_sample: int | None = 20_000
+
+    def __post_init__(self) -> None:
+        require(self.max_k >= 2, "max_k must be >= 2")
+        require(
+            self.selection_policy in PKS_SELECTION_POLICIES,
+            f"selection_policy must be one of {PKS_SELECTION_POLICIES}",
+        )
+
+
+@dataclass(frozen=True)
+class PksSelection(SampleSelection):
+    """PKS's selection, retaining the clustering for analysis.
+
+    ``cluster_rows[i]`` holds the profile-table rows of representative
+    ``i``'s cluster. Representative weights are invocation-count shares.
+    """
+
+    chosen_k: int = 0
+    cluster_rows: tuple[np.ndarray, ...] = ()
+
+
+class PksPipeline:
+    """Profile table (+ golden reference) -> clusters -> representatives."""
+
+    def __init__(self, config: PksConfig | None = None):
+        self.config = config or PksConfig()
+
+    # ------------------------------------------------------------------ #
+
+    def _representative_rows(
+        self,
+        table: ProfileTable,
+        projected: np.ndarray,
+        labels: np.ndarray,
+        centroids: np.ndarray,
+    ) -> tuple[list[int], list[np.ndarray]]:
+        """Pick one row per non-empty cluster under the configured policy."""
+        rows: list[int] = []
+        members: list[np.ndarray] = []
+        policy = self.config.selection_policy
+        for cluster in range(len(centroids)):
+            cluster_rows = np.flatnonzero(labels == cluster)
+            if len(cluster_rows) == 0:
+                continue
+            if policy == "first":
+                # Table rows are chronological, so the smallest row index is
+                # the first-chronological invocation of the cluster.
+                row = int(cluster_rows[0])
+            elif policy == "random":
+                rng = rng_for("pks-select", table.workload, cluster, len(centroids))
+                row = int(cluster_rows[rng.integers(len(cluster_rows))])
+            else:  # centroid
+                deltas = projected[cluster_rows] - centroids[cluster]
+                row = int(cluster_rows[np.argmin(np.einsum("ij,ij->i", deltas, deltas))])
+            rows.append(row)
+            members.append(cluster_rows)
+        return rows, members
+
+    def _predicted_cycles(
+        self,
+        table: ProfileTable,
+        rows: list[int],
+        members: list[np.ndarray],
+        cycles_by_row: np.ndarray,
+    ) -> float:
+        """Invocation-count-weighted sum of representative cycle counts."""
+        return float(
+            sum(
+                len(cluster_rows) * cycles_by_row[row]
+                for row, cluster_rows in zip(rows, members)
+            )
+        )
+
+    # ------------------------------------------------------------------ #
+
+    def select(
+        self, table: ProfileTable, golden: WorkloadMeasurement
+    ) -> PksSelection:
+        """Cluster ``table`` and select representatives.
+
+        ``golden`` is the real-hardware reference PKS needs to choose k.
+        """
+        require(table.metrics is not None, "PKS needs the 12-metric profile")
+        require(len(table) > 0, "profile table is empty")
+
+        projected = PCA(self.config.variance_target).fit(table.metrics).transform(
+            table.metrics
+        )
+        cycles_by_row = cycles_in_table_order(table, golden)
+        measured_total = float(cycles_by_row.sum())
+
+        best: tuple[float, int, list[int], list[np.ndarray]] | None = None
+        max_k = min(self.config.max_k, len(table))
+        clusterings = BisectingKMeans(
+            max_k,
+            seed_label=f"pks/{table.workload}",
+            max_iterations=self.config.kmeans_iterations,
+            fit_sample_size=self.config.kmeans_fit_sample,
+        ).fit_all(projected)
+        candidate_ks = [k for k in sorted(clusterings) if k >= 2] or [1]
+        for k in candidate_ks:
+            clustering = clusterings[k]
+            rows, members = self._representative_rows(
+                table, projected, clustering.labels, clustering.centroids
+            )
+            predicted = self._predicted_cycles(table, rows, members, cycles_by_row)
+            error = abs(predicted - measured_total) / measured_total
+            if best is None or error < best[0]:
+                best = (error, k, rows, members)
+
+        assert best is not None
+        _, chosen_k, rows, members = best
+        total_invocations = len(table)
+        representatives = tuple(
+            Representative(
+                kernel_name=table.kernel_name_of_row(row),
+                kernel_id=int(table.kernel_id[row]),
+                invocation_id=int(table.invocation_id[row]),
+                row=row,
+                weight=len(cluster_rows) / total_invocations,
+                group=f"cluster{index}",
+                group_size=len(cluster_rows),
+            )
+            for index, (row, cluster_rows) in enumerate(zip(rows, members))
+        )
+        return PksSelection(
+            workload=table.workload,
+            method=f"pks-{self.config.selection_policy}",
+            representatives=representatives,
+            total_instructions=table.total_instructions,
+            num_invocations=total_invocations,
+            chosen_k=chosen_k,
+            cluster_rows=tuple(members),
+        )
+
+    def predict(
+        self, selection: PksSelection, measurement: WorkloadMeasurement
+    ) -> PredictionResult:
+        """Invocation-count-weighted sum of representative cycle counts."""
+        predicted = float(
+            sum(
+                r.group_size * r.measured_cycles(measurement)
+                for r in selection.representatives
+            )
+        )
+        return PredictionResult(
+            workload=selection.workload,
+            method=selection.method,
+            predicted_cycles=predicted,
+            predicted_ipc=selection.total_instructions / predicted,
+            num_representatives=selection.num_representatives,
+        )
+
+
+def cycles_in_table_order(
+    table: ProfileTable, measurement: WorkloadMeasurement
+) -> np.ndarray:
+    """Golden per-invocation cycle counts aligned with the table's rows."""
+    cycles = np.empty(len(table), dtype=np.float64)
+    for kernel_id, kernel_name in enumerate(table.kernel_names):
+        rows = table.rows_for_kernel(kernel_id)
+        per_kernel = measurement.per_kernel[kernel_name]
+        cycles[rows] = per_kernel.cycles[table.invocation_id[rows]]
+    return cycles

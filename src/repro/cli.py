@@ -1,0 +1,257 @@
+"""Command-line interface: regenerate any of the paper's experiments.
+
+Examples::
+
+    sieve-repro table1
+    sieve-repro fig3 --cap 50000
+    sieve-repro fig9
+    sieve-repro sample cactus/lmc --theta 0.4
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core.config import SieveConfig
+from repro.evaluation import experiments
+from repro.evaluation.context import build_context
+from repro.evaluation.reporting import format_table, percent, times
+from repro.evaluation.runner import evaluate_pks, evaluate_sieve
+
+
+def _print_comparison(rows, aggregates_of) -> None:
+    table_rows = [
+        (
+            row.workload,
+            percent(row.sieve.error),
+            percent(row.pks.error),
+            f"{row.sieve.cycle_cov:.2f}",
+            f"{row.pks.cycle_cov:.2f}",
+            times(row.sieve.speedup),
+            times(row.pks.speedup),
+        )
+        for row in rows
+    ]
+    print(
+        format_table(
+            ["workload", "sieve_err", "pks_err", "sieve_cov", "pks_cov",
+             "sieve_speedup", "pks_speedup"],
+            table_rows,
+        )
+    )
+    for name, value in aggregates_of(rows).items():
+        print(f"{name}: {value:.4g}")
+
+
+def _cmd_table1(args) -> None:
+    rows = experiments.table1_inventory(args.cap)
+    print(format_table(
+        ["suite", "workload", "kernels", "invocations"],
+        [(r["suite"], r["workload"], r["kernels"], r["invocations"]) for r in rows],
+    ))
+
+
+def _cmd_table2(args) -> None:
+    rows = experiments.table2_metrics()
+    print(format_table(
+        ["execution characteristic", "PKS", "Sieve"],
+        [(r["characteristic"], r["pks"], r["sieve"]) for r in rows],
+    ))
+
+
+def _cmd_fig2(args) -> None:
+    rows = experiments.figure2_tiers(max_invocations=args.cap)
+    headers = ["workload"] + [k for k in rows[0] if k != "workload"]
+    print(format_table(
+        headers,
+        [[row["workload"]] + [percent(row[h]) for h in headers[1:]] for row in rows],
+    ))
+
+
+def _cmd_fig3(args) -> None:
+    rows = experiments.compare_methods(max_invocations=args.cap)
+    _print_comparison(rows, experiments.figure3_accuracy)
+
+
+def _cmd_fig5(args) -> None:
+    rows = experiments.figure5_selection_policies(max_invocations=args.cap)
+    print(format_table(
+        ["workload", "pks_first", "pks_random", "pks_centroid", "sieve"],
+        [
+            (r["workload"], percent(r["pks_first"]), percent(r["pks_random"]),
+             percent(r["pks_centroid"]), percent(r["sieve"]))
+            for r in rows
+        ],
+    ))
+
+
+def _cmd_fig7(args) -> None:
+    rows = experiments.figure7_profiling(max_invocations=args.cap)
+    print(format_table(
+        ["workload", "pks_days", "sieve_days", "speedup"],
+        [
+            (r["workload"], f"{r['pks_days']:.3f}", f"{r['sieve_days']:.4f}",
+             times(r["speedup"]))
+            for r in rows
+        ],
+    ))
+
+
+def _cmd_fig8(args) -> None:
+    rows = experiments.figure8_simple_suites(args.cap)
+    _print_comparison(rows, experiments.figure3_accuracy)
+
+
+def _cmd_fig9(args) -> None:
+    rows = experiments.figure9_relative(max_invocations=args.cap)
+    print(format_table(
+        ["workload", "hardware", "sieve", "pks", "sieve_err", "pks_err"],
+        [
+            (r["workload"], f"{r['hardware']:.3f}", f"{r['sieve']:.3f}",
+             f"{r['pks']:.3f}", percent(r["sieve_error"]), percent(r["pks_error"]))
+            for r in rows
+        ],
+    ))
+
+
+def _cmd_fig10(args) -> None:
+    rows = experiments.figure10_theta_sweep(max_invocations=args.cap)
+    print(format_table(
+        ["theta", "avg_error", "max_error", "hmean_speedup"],
+        [
+            (r["theta"], percent(r["avg_error"]), percent(r["max_error"]),
+             times(r["hmean_speedup"]))
+            for r in rows
+        ],
+    ))
+
+
+def _cmd_trace(args) -> None:
+    """Emit plain-text traces for a workload's Sieve selection (§V-G)."""
+    from pathlib import Path
+
+    from repro.core.pipeline import SievePipeline
+    from repro.trace.tracer import SelectionTracer, TracerConfig
+
+    context = build_context(args.workload, args.cap)
+    selection = SievePipeline(SieveConfig(theta=args.theta)).select(
+        context.sieve_table
+    )
+    reps = selection.representatives[: args.limit] if args.limit else (
+        selection.representatives
+    )
+    import dataclasses
+
+    subset = dataclasses.replace(selection, representatives=reps, strata=())
+    tracer = SelectionTracer(
+        TracerConfig(max_warps=args.max_warps,
+                     max_warp_instructions=args.max_insns)
+    )
+    paths = tracer.write_selection(context.run, subset, Path(args.out))
+    total = sum(p.stat().st_size for p in paths)
+    print(f"wrote {len(paths)} trace files ({total / 1e6:.1f} MB) to {args.out}")
+
+
+def _cmd_simulate(args) -> None:
+    """Simulate previously written trace files cycle by cycle (§V-G)."""
+    from pathlib import Path
+
+    from repro.evaluation.reporting import format_table
+    from repro.trace.encoding import parse_trace
+    from repro.trace.simulator import SimulatorConfig, TraceSimulator
+
+    simulator = TraceSimulator(SimulatorConfig(num_sms=args.sms))
+    rows = []
+    for path in sorted(Path(args.directory).glob("*.trace")):
+        result = simulator.simulate(parse_trace(path.read_text()))
+        rows.append(
+            (path.name, result.cycles, result.warp_instructions,
+             f"{result.ipc:.1f}", f"{result.l1_hit_rate:.2f}",
+             result.dram_requests)
+        )
+    if not rows:
+        print(f"no .trace files in {args.directory}")
+        return
+    print(format_table(
+        ["trace", "cycles", "warp_insns", "ipc", "l1_hit", "dram"], rows
+    ))
+
+
+def _cmd_sample(args) -> None:
+    context = build_context(args.workload, args.cap)
+    sieve = evaluate_sieve(context, SieveConfig(theta=args.theta))
+    pks = evaluate_pks(context)
+    print(f"workload        : {context.label}")
+    print(f"invocations     : {len(context.sieve_table)}")
+    print(f"golden cycles   : {context.golden.total_cycles:,}")
+    for result in (sieve, pks):
+        print(
+            f"{result.method:12s}: {result.num_representatives:4d} reps, "
+            f"error {percent(result.error)}, speedup {times(result.speedup)}"
+        )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="sieve-repro",
+        description="Regenerate experiments from the Sieve paper (ISPASS 2023)",
+    )
+    parser.add_argument(
+        "--cap",
+        type=int,
+        default=None,
+        help="cap invocations per workload (default: full Table I scale)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    commands = {
+        "table1": _cmd_table1,
+        "table2": _cmd_table2,
+        "fig2": _cmd_fig2,
+        "fig3": _cmd_fig3,
+        "fig5": _cmd_fig5,
+        "fig7": _cmd_fig7,
+        "fig8": _cmd_fig8,
+        "fig9": _cmd_fig9,
+        "fig10": _cmd_fig10,
+    }
+    for name, handler in commands.items():
+        sub.add_parser(name).set_defaults(handler=handler)
+    sample = sub.add_parser("sample", help="run Sieve + PKS on one workload")
+    sample.add_argument("workload")
+    sample.add_argument("--theta", type=float, default=0.4)
+    sample.set_defaults(handler=_cmd_sample)
+
+    trace = sub.add_parser(
+        "trace", help="write trace files for a workload's Sieve selection"
+    )
+    trace.add_argument("workload")
+    trace.add_argument("--out", default="traces")
+    trace.add_argument("--theta", type=float, default=0.4)
+    trace.add_argument("--limit", type=int, default=None,
+                       help="trace only the first N representatives")
+    trace.add_argument("--max-warps", type=int, default=16)
+    trace.add_argument("--max-insns", type=int, default=512)
+    trace.set_defaults(handler=_cmd_trace)
+
+    simulate = sub.add_parser(
+        "simulate", help="cycle-level simulation of written trace files"
+    )
+    simulate.add_argument("directory")
+    simulate.add_argument("--sms", type=int, default=2)
+    simulate.set_defaults(handler=_cmd_simulate)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        args.handler(args)
+    except BrokenPipeError:
+        # Output piped into a pager/head that closed early — not an error.
+        return 0
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

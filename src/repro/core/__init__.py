@@ -1,0 +1,41 @@
+"""Sieve: the paper's primary contribution.
+
+Stratified sampling of GPU-compute kernel invocations (Section III):
+profile one characteristic (instruction count), tier kernels by
+instruction-count CoV against a threshold θ, split high-variability kernels
+with 1-D kernel density estimation, pick one representative invocation per
+stratum (first-chronological, dominant CTA size), weight strata by
+instruction count, and predict application performance as the weighted
+harmonic mean of per-representative IPC.
+"""
+
+from repro.core.config import SieveConfig
+from repro.core.kde import GaussianKDE1D, kde_strata
+from repro.core.pipeline import SievePipeline, SieveSelection
+from repro.core.prediction import (
+    PredictionResult,
+    predict_cycles,
+    predict_cycles_from_cpi,
+    predict_ipc,
+)
+from repro.core.stratify import Stratum, stratify_table
+from repro.core.tiers import TierClassification, classify_invocations
+from repro.core.types import Representative, SampleSelection
+
+__all__ = [
+    "SieveConfig",
+    "GaussianKDE1D",
+    "kde_strata",
+    "TierClassification",
+    "classify_invocations",
+    "Stratum",
+    "stratify_table",
+    "Representative",
+    "SampleSelection",
+    "SievePipeline",
+    "SieveSelection",
+    "PredictionResult",
+    "predict_ipc",
+    "predict_cycles",
+    "predict_cycles_from_cpi",
+]

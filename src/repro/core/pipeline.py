@@ -1,0 +1,92 @@
+"""End-to-end Sieve pipeline (Figure 1).
+
+``select`` turns a profile table into representative kernel invocations
+with weights; ``predict`` combines those representatives' measured (or
+simulated) performance into an application-level prediction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.config import SieveConfig
+from repro.core.prediction import PredictionResult, predict_cycles, predict_ipc
+from repro.core.selection import select_representative_row
+from repro.core.stratify import Stratum, stratify_table
+from repro.core.types import Representative, SampleSelection
+from repro.core.weights import stratum_weights
+from repro.gpu.hardware import WorkloadMeasurement
+from repro.profiling.table import ProfileTable
+from repro.utils.validation import require
+
+METHOD_NAME = "sieve"
+
+
+@dataclass(frozen=True)
+class SieveSelection(SampleSelection):
+    """Sieve's selection, retaining the stratification for analysis."""
+
+    strata: tuple[Stratum, ...] = ()
+
+
+class SievePipeline:
+    """Profile table -> strata -> representatives -> prediction."""
+
+    def __init__(self, config: SieveConfig | None = None):
+        self.config = config or SieveConfig()
+
+    def select(self, table: ProfileTable) -> SieveSelection:
+        """Stratify ``table`` and pick one representative per stratum."""
+        require(len(table) > 0, "profile table is empty")
+        strata = stratify_table(table, self.config)
+        weights = stratum_weights(strata)
+        representatives = []
+        for stratum, weight in zip(strata, weights):
+            row = select_representative_row(table, stratum, self.config.selection_policy)
+            representatives.append(
+                Representative(
+                    kernel_name=stratum.kernel_name,
+                    kernel_id=stratum.kernel_id,
+                    invocation_id=int(table.invocation_id[row]),
+                    row=row,
+                    weight=float(weight),
+                    group=stratum.label,
+                    group_size=stratum.size,
+                )
+            )
+        return SieveSelection(
+            workload=table.workload,
+            method=METHOD_NAME,
+            representatives=tuple(representatives),
+            total_instructions=table.total_instructions,
+            num_invocations=len(table),
+            strata=tuple(strata),
+        )
+
+    def predict(
+        self, selection: SieveSelection, measurement: WorkloadMeasurement
+    ) -> PredictionResult:
+        """Predict application cycles from the representatives' performance.
+
+        ``measurement`` supplies per-invocation cycle counts for the
+        representative invocations only (conceptually: the output of
+        simulating just the selected samples).
+        """
+        reps = selection.representatives
+        ipc = np.array(
+            [
+                r.measured_insn(measurement) / r.measured_cycles(measurement)
+                for r in reps
+            ]
+        )
+        weights = np.array([r.weight for r in reps])
+        predicted_ipc = predict_ipc(ipc, weights)
+        return PredictionResult(
+            workload=selection.workload,
+            method=selection.method,
+            predicted_cycles=predict_cycles(selection.total_instructions, predicted_ipc),
+            predicted_ipc=predicted_ipc,
+            num_representatives=len(reps),
+        )

@@ -1,0 +1,54 @@
+"""Performance prediction from representative invocations (Section III-D).
+
+Sieve predicts application IPC as the weighted *harmonic* mean of the
+representatives' IPC values (weights = instruction-count shares), then
+converts to cycles by dividing the workload's known total instruction count
+by the predicted IPC. The CPI-domain weighted *arithmetic* mean is the
+algebraically identical dual and is provided for completeness (and tested
+for equality).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.stats import weighted_arithmetic_mean, weighted_harmonic_mean
+from repro.utils.validation import require
+
+
+@dataclass(frozen=True)
+class PredictionResult:
+    """A sampling method's application-level performance prediction."""
+
+    workload: str
+    method: str
+    predicted_cycles: float
+    predicted_ipc: float
+    num_representatives: int
+
+    def error_against(self, measured_cycles: int) -> float:
+        """The paper's error metric: |predicted - measured| / measured."""
+        require(measured_cycles > 0, "measured cycle count must be positive")
+        return abs(self.predicted_cycles - measured_cycles) / measured_cycles
+
+
+def predict_ipc(rep_ipc: np.ndarray, weights: np.ndarray) -> float:
+    """Weighted harmonic mean IPC: ``1 / sum(w_i / IPC_i)``."""
+    return weighted_harmonic_mean(rep_ipc, weights)
+
+
+def predict_cycles(total_instructions: int, predicted_ipc: float) -> float:
+    """Cycles = known total instruction count / predicted IPC."""
+    require(total_instructions > 0, "total instruction count must be positive")
+    require(predicted_ipc > 0, "IPC must be positive")
+    return total_instructions / predicted_ipc
+
+
+def predict_cycles_from_cpi(
+    total_instructions: int, rep_cpi: np.ndarray, weights: np.ndarray
+) -> float:
+    """CPI-domain dual: cycles = total instructions x weighted-mean CPI."""
+    require(total_instructions > 0, "total instruction count must be positive")
+    return total_instructions * weighted_arithmetic_mean(rep_cpi, weights)

@@ -1,0 +1,58 @@
+"""Representative kernel invocation selection (Section III-C).
+
+Paper defaults: for Tier-1 strata the first-chronological invocation; for
+Tier-2/Tier-3 strata the first-chronological invocation with the stratum's
+*most dominant* CTA size (so the representative occupies the hardware the
+way most of the stratum does). ``max_cta``, ``first``, ``random`` and
+``centroid`` are alternative policies kept for the paper's stated ablation
+("we also considered selecting the invocation with the maximum CTA size
+... but we found this to be less accurate").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.stratify import Stratum
+from repro.profiling.table import ProfileTable
+from repro.utils.seeding import rng_for
+from repro.utils.validation import require
+from repro.workloads.spec import Tier
+
+
+def _first_with_cta(table: ProfileTable, stratum: Stratum, cta: int) -> int:
+    member_cta = table.cta_size[stratum.rows]
+    candidates = stratum.rows[member_cta == cta]
+    require(len(candidates) > 0, "no invocation with the requested CTA size")
+    return int(candidates[0])
+
+
+def _dominant_cta(table: ProfileTable, stratum: Stratum) -> int:
+    """The stratum's modal CTA size (ties broken toward the smaller size)."""
+    sizes, counts = np.unique(table.cta_size[stratum.rows], return_counts=True)
+    return int(sizes[np.argmax(counts)])
+
+
+def select_representative_row(
+    table: ProfileTable, stratum: Stratum, policy: str
+) -> int:
+    """Select one representative row for ``stratum`` under ``policy``.
+
+    Rows within a stratum are stored chronologically, so "first" selections
+    are simply the smallest row index among candidates.
+    """
+    if stratum.tier is Tier.TIER1 or policy == "first":
+        return int(stratum.rows[0])
+    if policy == "dominant_cta":
+        return _first_with_cta(table, stratum, _dominant_cta(table, stratum))
+    if policy == "max_cta":
+        max_cta = int(table.cta_size[stratum.rows].max())
+        return _first_with_cta(table, stratum, max_cta)
+    if policy == "random":
+        rng = rng_for("sieve-select", table.workload, stratum.label)
+        return int(stratum.rows[rng.integers(len(stratum.rows))])
+    if policy == "centroid":
+        member_insn = table.insn_count[stratum.rows].astype(np.float64)
+        distance = np.abs(member_insn - member_insn.mean())
+        return int(stratum.rows[np.argmin(distance)])
+    raise ValueError(f"unknown selection policy {policy!r}")

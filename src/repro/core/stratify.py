@@ -1,0 +1,80 @@
+"""Stratification of a profile table (Section III-B).
+
+Each kernel's invocations are classified into tiers; Tier-1 and Tier-2
+kernels form a single stratum each, Tier-3 kernels are split with KDE so
+the instruction-count CoV within every stratum falls below θ. Every
+stratum, by construction, contains invocations of exactly one kernel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.config import SieveConfig
+from repro.core.kde import kde_strata
+from repro.core.tiers import classify_invocations
+from repro.profiling.table import ProfileTable
+from repro.utils.stats import coefficient_of_variation
+from repro.workloads.spec import Tier
+
+
+@dataclass(frozen=True)
+class Stratum:
+    """A group of same-kernel invocations with similar instruction count."""
+
+    kernel_id: int
+    kernel_name: str
+    tier: Tier
+    index: int  # ordinal among the kernel's strata
+    rows: np.ndarray  # profile-table row indices, chronological order
+    insn_total: int
+    insn_cov: float
+
+    @property
+    def label(self) -> str:
+        return f"{self.kernel_name}/s{self.index}"
+
+    @property
+    def size(self) -> int:
+        return len(self.rows)
+
+
+def stratify_table(table: ProfileTable, config: SieveConfig) -> list[Stratum]:
+    """Sieve's stratification of a whole profile table.
+
+    Returns strata grouped per kernel (kernels in id order, strata ordered
+    by ascending instruction count within a kernel).
+    """
+    strata: list[Stratum] = []
+    for kernel_id in range(table.num_kernels):
+        rows = table.rows_for_kernel(kernel_id)
+        if len(rows) == 0:
+            continue
+        insn = table.insn_count[rows]
+        classification = classify_invocations(insn, config.theta)
+        if classification.tier in (Tier.TIER1, Tier.TIER2):
+            groups = [np.arange(len(rows))]
+        else:
+            groups = kde_strata(
+                insn,
+                config.theta,
+                grid_points=config.kde_grid_points,
+                bandwidth_scale=config.kde_bandwidth_scale,
+            )
+        for index, group in enumerate(groups):
+            member_rows = rows[np.sort(group)]
+            member_insn = table.insn_count[member_rows]
+            strata.append(
+                Stratum(
+                    kernel_id=kernel_id,
+                    kernel_name=table.kernel_names[kernel_id],
+                    tier=classification.tier,
+                    index=index,
+                    rows=member_rows,
+                    insn_total=int(member_insn.sum()),
+                    insn_cov=coefficient_of_variation(member_insn),
+                )
+            )
+    return strata

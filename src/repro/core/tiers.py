@@ -1,0 +1,41 @@
+"""Tier classification of kernel invocation populations (Section III-B).
+
+* **Tier-1** — all invocations of the kernel execute the exact same number
+  of instructions;
+* **Tier-2** — instruction-count CoV is non-zero but at most θ;
+* **Tier-3** — instruction-count CoV exceeds θ.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.stats import coefficient_of_variation
+from repro.utils.validation import require
+from repro.workloads.spec import Tier
+
+
+@dataclass(frozen=True)
+class TierClassification:
+    """Tier of one kernel's invocation population."""
+
+    tier: Tier
+    cov: float
+    num_invocations: int
+
+
+def classify_invocations(insn_count: np.ndarray, theta: float) -> TierClassification:
+    """Classify one kernel's invocations by instruction-count variability."""
+    require(theta > 0, "theta must be positive")
+    insn_count = np.asarray(insn_count)
+    require(len(insn_count) >= 1, "kernel must have at least one invocation")
+    cov = coefficient_of_variation(insn_count)
+    if np.all(insn_count == insn_count[0]):
+        tier = Tier.TIER1
+    elif cov <= theta:
+        tier = Tier.TIER2
+    else:
+        tier = Tier.TIER3
+    return TierClassification(tier=tier, cov=cov, num_invocations=len(insn_count))

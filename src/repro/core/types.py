@@ -1,0 +1,71 @@
+"""Sampling output types shared by Sieve and the baselines.
+
+Both Sieve and PKS reduce a workload to a small set of *representative
+kernel invocations* with weights; everything downstream (simulation,
+performance prediction, speedup accounting) consumes this common shape.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.gpu.hardware import WorkloadMeasurement
+from repro.utils.validation import require
+
+
+@dataclass(frozen=True)
+class Representative:
+    """One selected kernel invocation.
+
+    ``invocation_id`` is the per-kernel chronological index (the paper's
+    kernel invocation ID); ``row`` is the invocation's row in the profile
+    table it was selected from; ``weight`` is the representative's relative
+    weight under its method's weighting scheme; ``group`` labels the
+    stratum/cluster it represents; ``group_size`` is the number of
+    invocations it stands in for.
+    """
+
+    kernel_name: str
+    kernel_id: int
+    invocation_id: int
+    row: int
+    weight: float
+    group: str
+    group_size: int
+
+    def __post_init__(self) -> None:
+        require(self.weight >= 0, "weights must be non-negative")
+        require(self.group_size >= 1, "a representative stands for >= 1")
+
+    def measured_cycles(self, measurement: WorkloadMeasurement) -> int:
+        """This invocation's golden-reference cycle count."""
+        kernel = measurement.per_kernel[self.kernel_name]
+        return int(kernel.cycles[self.invocation_id])
+
+    def measured_insn(self, measurement: WorkloadMeasurement) -> int:
+        kernel = measurement.per_kernel[self.kernel_name]
+        return int(kernel.insn_count[self.invocation_id])
+
+
+@dataclass(frozen=True)
+class SampleSelection:
+    """A sampling method's output for one workload."""
+
+    workload: str
+    method: str
+    representatives: tuple[Representative, ...]
+    total_instructions: int
+    num_invocations: int
+
+    def __post_init__(self) -> None:
+        require(len(self.representatives) >= 1, "selection must be non-empty")
+        require(self.num_invocations >= len(self.representatives),
+                "more representatives than invocations")
+
+    @property
+    def num_representatives(self) -> int:
+        return len(self.representatives)
+
+    def sample_cycles(self, measurement: WorkloadMeasurement) -> int:
+        """Cycles spent executing (or simulating) just the representatives."""
+        return sum(r.measured_cycles(measurement) for r in self.representatives)

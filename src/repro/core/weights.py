@@ -1,0 +1,22 @@
+"""Stratum weighting (Section III-C).
+
+A stratum's weight is its share of the workload's total dynamic instruction
+count: "Dividing the total instruction count per stratum to the total
+instruction count for the entire workload yields the stratum's weight."
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.stratify import Stratum
+from repro.utils.validation import require
+
+
+def stratum_weights(strata: list[Stratum]) -> np.ndarray:
+    """Instruction-count-share weights, summing to one."""
+    require(len(strata) >= 1, "need at least one stratum")
+    totals = np.array([s.insn_total for s in strata], dtype=np.float64)
+    grand_total = totals.sum()
+    require(grand_total > 0, "workload executes no instructions")
+    return totals / grand_total

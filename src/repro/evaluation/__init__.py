@@ -1,0 +1,30 @@
+"""Evaluation harness.
+
+Implements the paper's metrics (Section IV-3): prediction error against
+the golden reference, simulation speedup, within-cluster cycle dispersion,
+profiling-time speedup and cross-architecture relative accuracy — plus the
+experiment drivers that regenerate each figure/table.
+"""
+
+from repro.evaluation.context import WorkloadContext, build_context
+from repro.evaluation.dispersion import weighted_cycle_cov
+from repro.evaluation.metrics import (
+    harmonic_mean,
+    prediction_error,
+    relative_speedup_error,
+    simulation_speedup,
+)
+from repro.evaluation.runner import MethodResult, evaluate_pks, evaluate_sieve
+
+__all__ = [
+    "WorkloadContext",
+    "build_context",
+    "prediction_error",
+    "simulation_speedup",
+    "relative_speedup_error",
+    "harmonic_mean",
+    "weighted_cycle_cov",
+    "MethodResult",
+    "evaluate_sieve",
+    "evaluate_pks",
+]

@@ -1,0 +1,66 @@
+"""Cached per-workload evaluation context.
+
+Building a context = generate the workload, measure it on the baseline GPU
+(the golden reference), and profile it with both tools. Contexts are
+memoized because several experiments share the same workloads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+from repro.gpu.arch import AMPERE_RTX3080, TURING_RTX2080TI, GpuArchitecture
+from repro.gpu.hardware import HardwareExecutor, WorkloadMeasurement
+from repro.profiling.cost import ProfilingCost
+from repro.profiling.nsight import NsightComputeProfiler
+from repro.profiling.nvbit import NVBitProfiler
+from repro.profiling.table import ProfileTable
+from repro.workloads.catalog import spec_for
+from repro.workloads.generator import WorkloadRun, generate
+
+
+@dataclass(frozen=True)
+class WorkloadContext:
+    """Everything an experiment needs for one workload."""
+
+    run: WorkloadRun
+    golden: WorkloadMeasurement  # baseline-architecture reference
+    sieve_table: ProfileTable  # NVBit profile (instruction count only)
+    pks_table: ProfileTable  # Nsight profile (12 metrics)
+    sieve_profiling: ProfilingCost
+    pks_profiling: ProfilingCost
+
+    @property
+    def label(self) -> str:
+        return self.run.label
+
+    def measure_on(self, arch: GpuArchitecture) -> WorkloadMeasurement:
+        """Golden reference on another architecture (e.g. Turing)."""
+        return HardwareExecutor(arch).measure(self.run)
+
+
+@lru_cache(maxsize=4)
+def _cached_context(label: str, max_invocations: int | None, arch_name: str):
+    arch = {a.name: a for a in (AMPERE_RTX3080, TURING_RTX2080TI)}[arch_name]
+    run = generate(spec_for(label), max_invocations=max_invocations)
+    golden = HardwareExecutor(arch).measure(run)
+    sieve_table, sieve_cost = NVBitProfiler(arch).profile(run)
+    pks_table, pks_cost = NsightComputeProfiler(arch).profile(run)
+    return WorkloadContext(
+        run=run,
+        golden=golden,
+        sieve_table=sieve_table,
+        pks_table=pks_table,
+        sieve_profiling=sieve_cost,
+        pks_profiling=pks_cost,
+    )
+
+
+def build_context(
+    label: str,
+    max_invocations: int | None = None,
+    arch: GpuArchitecture = AMPERE_RTX3080,
+) -> WorkloadContext:
+    """Build (or fetch the cached) evaluation context for ``label``."""
+    return _cached_context(label, max_invocations, arch.name)

@@ -1,0 +1,34 @@
+"""Within-cluster cycle-count dispersion (Figure 4).
+
+The paper reports the invocation-count-weighted average coefficient of
+variation of cycle counts within each cluster/stratum: "a measure for the
+degree of cycle count variability or dispersion within each cluster".
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from repro.utils.stats import coefficient_of_variation
+from repro.utils.validation import require
+
+
+def weighted_cycle_cov(
+    groups: Iterable[np.ndarray], cycles_by_row: np.ndarray
+) -> float:
+    """Invocation-count-weighted average within-group CoV of cycles.
+
+    ``groups`` yields row-index arrays (a Sieve stratification or a PKS
+    clustering); ``cycles_by_row`` is the golden cycle count per profile row.
+    """
+    covs: list[float] = []
+    weights: list[int] = []
+    for rows in groups:
+        if len(rows) == 0:
+            continue
+        covs.append(coefficient_of_variation(cycles_by_row[rows]))
+        weights.append(len(rows))
+    require(len(covs) > 0, "no non-empty groups")
+    return float(np.average(covs, weights=weights))

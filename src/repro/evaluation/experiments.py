@@ -1,0 +1,307 @@
+"""Experiment drivers: one function per table/figure in the paper.
+
+Each driver returns structured rows plus aggregates so that the benchmark
+harness, the CLI and EXPERIMENTS.md all print the same numbers. Every
+driver takes an optional ``max_invocations`` cap (tests use small caps;
+benches run the full Table I scale).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.baselines.pks import PksConfig
+from repro.core.config import SieveConfig
+from repro.evaluation.context import build_context
+from repro.evaluation.metrics import harmonic_mean, relative_speedup_error
+from repro.evaluation.runner import (
+    MethodResult,
+    evaluate_pks,
+    evaluate_sieve,
+    hardware_speedup_between,
+    predicted_speedup_between,
+    sieve_tier_fractions,
+)
+from repro.gpu.arch import TURING_RTX2080TI
+from repro.profiling.metrics import PKS_METRICS
+from repro.workloads.catalog import (
+    CHALLENGING_SUITES,
+    SIMPLE_SUITES,
+    all_specs,
+    specs_for_suites,
+)
+from repro.workloads.generator import generate
+
+#: Fig 9 excludes MLPerf and Cactus' rfl ("Due to infrastructure
+#: limitations on the RTX 2080Ti we were unable to run the MLPerf
+#: workloads as well as Cactus' rfl").
+RELATIVE_STUDY_LABELS: tuple[str, ...] = (
+    "cactus/gru",
+    "cactus/gst",
+    "cactus/gms",
+    "cactus/lmc",
+    "cactus/lmr",
+    "cactus/dcg",
+    "cactus/lgt",
+    "cactus/nst",
+    "cactus/spt",
+)
+
+
+def _challenging_labels() -> list[str]:
+    return [spec.label for spec in specs_for_suites(CHALLENGING_SUITES)]
+
+
+def _simple_labels() -> list[str]:
+    return [spec.label for spec in specs_for_suites(SIMPLE_SUITES)]
+
+
+# --------------------------------------------------------------------- #
+# Table I / Table II
+
+
+def table1_inventory(max_invocations: int | None = None) -> list[dict]:
+    """Workload inventory: suite, name, #kernels, #invocations (Table I).
+
+    Regenerates every workload and cross-checks the realized counts
+    against the spec (they must match exactly at full scale).
+    """
+    rows = []
+    for spec in all_specs():
+        run = generate(spec, max_invocations=max_invocations)
+        rows.append(
+            {
+                "suite": spec.suite,
+                "workload": spec.name,
+                "kernels": len(run.kernels),
+                "invocations": run.num_invocations,
+                "paper_kernels": spec.num_kernels,
+                "paper_invocations": spec.num_invocations,
+            }
+        )
+    return rows
+
+
+def table2_metrics() -> list[dict]:
+    """Execution characteristics profiled by PKS versus Sieve (Table II)."""
+    return [
+        {
+            "characteristic": metric.name,
+            "pks": "yes" if metric.used_by_pks else "",
+            "sieve": "yes" if metric.used_by_sieve else "",
+        }
+        for metric in PKS_METRICS
+    ]
+
+
+# --------------------------------------------------------------------- #
+# Figure 2: tier fractions vs theta
+
+
+def figure2_tiers(
+    thetas: tuple[float, ...] = (0.1, 0.5, 1.0),
+    max_invocations: int | None = None,
+) -> list[dict]:
+    """Invocation fractions per tier for each challenging workload."""
+    rows = []
+    for label in _challenging_labels():
+        context = build_context(label, max_invocations)
+        row: dict = {"workload": label}
+        for theta in thetas:
+            fractions = sieve_tier_fractions(context, theta)
+            row[f"tier1@{theta}"] = float(fractions[0])
+            row[f"tier2@{theta}"] = float(fractions[1])
+            row[f"tier3@{theta}"] = float(fractions[2])
+        rows.append(row)
+    return rows
+
+
+# --------------------------------------------------------------------- #
+# Figures 3, 4, 6: accuracy, dispersion, speedup on Cactus + MLPerf
+
+
+@dataclass(frozen=True)
+class ComparisonRow:
+    """Sieve-vs-PKS scorecard for one workload."""
+
+    workload: str
+    sieve: MethodResult
+    pks: MethodResult
+
+
+def compare_methods(
+    labels: list[str] | None = None,
+    max_invocations: int | None = None,
+    theta: float = 0.4,
+) -> list[ComparisonRow]:
+    """Evaluate Sieve and PKS on each workload (drives Figures 3, 4, 6)."""
+    labels = labels if labels is not None else _challenging_labels()
+    rows = []
+    for label in labels:
+        context = build_context(label, max_invocations)
+        rows.append(
+            ComparisonRow(
+                workload=label,
+                sieve=evaluate_sieve(context, SieveConfig(theta=theta)),
+                pks=evaluate_pks(context),
+            )
+        )
+    return rows
+
+
+def figure3_accuracy(rows: list[ComparisonRow]) -> dict:
+    """Aggregate prediction errors (Figure 3)."""
+    sieve = [r.sieve.error for r in rows]
+    pks = [r.pks.error for r in rows]
+    return {
+        "sieve_avg": float(np.mean(sieve)),
+        "sieve_max": float(np.max(sieve)),
+        "pks_avg": float(np.mean(pks)),
+        "pks_max": float(np.max(pks)),
+    }
+
+
+def figure4_dispersion(rows: list[ComparisonRow]) -> dict:
+    """Aggregate within-cluster cycle CoV (Figure 4)."""
+    sieve = [r.sieve.cycle_cov for r in rows]
+    pks = [r.pks.cycle_cov for r in rows]
+    return {
+        "sieve_avg": float(np.mean(sieve)),
+        "sieve_max": float(np.max(sieve)),
+        "pks_avg": float(np.mean(pks)),
+        "pks_max": float(np.max(pks)),
+    }
+
+
+def figure6_speedup(rows: list[ComparisonRow]) -> dict:
+    """Harmonic-mean simulation speedups, excluding gst (Figure 6)."""
+    included = [r for r in rows if not r.workload.endswith("/gst")]
+    return {
+        "sieve_hmean": harmonic_mean([r.sieve.speedup for r in included]),
+        "pks_hmean": harmonic_mean([r.pks.speedup for r in included]),
+    }
+
+
+# --------------------------------------------------------------------- #
+# Figure 5: PKS selection policies
+
+
+def figure5_selection_policies(
+    labels: list[str] | None = None,
+    max_invocations: int | None = None,
+) -> list[dict]:
+    """PKS error under first/random/centroid selection, vs Sieve (Fig. 5)."""
+    labels = labels if labels is not None else _challenging_labels()
+    rows = []
+    for label in labels:
+        context = build_context(label, max_invocations)
+        row: dict = {"workload": label}
+        for policy in ("first", "random", "centroid"):
+            result = evaluate_pks(context, PksConfig(selection_policy=policy))
+            row[f"pks_{policy}"] = result.error
+        row["sieve"] = evaluate_sieve(context).error
+        rows.append(row)
+    return rows
+
+
+# --------------------------------------------------------------------- #
+# Figure 7: profiling time
+
+
+def figure7_profiling(
+    labels: list[str] | None = None,
+    max_invocations: int | None = None,
+) -> list[dict]:
+    """Profiling-time speedup of Sieve (NVBit) over PKS (Nsight)."""
+    labels = labels if labels is not None else _challenging_labels()
+    rows = []
+    for label in labels:
+        context = build_context(label, max_invocations)
+        rows.append(
+            {
+                "workload": label,
+                "pks_days": context.pks_profiling.total_days,
+                "sieve_days": context.sieve_profiling.total_days,
+                "speedup": context.pks_profiling.total_seconds
+                / context.sieve_profiling.total_seconds,
+            }
+        )
+    return rows
+
+
+# --------------------------------------------------------------------- #
+# Figure 8: the simple suites
+
+
+def figure8_simple_suites(max_invocations: int | None = None) -> list[ComparisonRow]:
+    """Sieve vs PKS on Parboil/Rodinia/CUDA SDK (Figure 8)."""
+    return compare_methods(_simple_labels(), max_invocations)
+
+
+# --------------------------------------------------------------------- #
+# Figure 9: relative accuracy across architectures
+
+
+def figure9_relative(
+    labels: tuple[str, ...] = RELATIVE_STUDY_LABELS,
+    max_invocations: int | None = None,
+) -> list[dict]:
+    """Ampere-vs-Turing speedup: hardware vs Sieve vs PKS (Figure 9)."""
+    rows = []
+    for label in labels:
+        context = build_context(label, max_invocations)
+        turing = context.measure_on(TURING_RTX2080TI)
+        hardware = hardware_speedup_between(context.golden, turing)
+        sieve = evaluate_sieve(context)
+        pks = evaluate_pks(context)
+        sieve_pred = predicted_speedup_between(
+            sieve.selection, "sieve", context.golden, turing
+        )
+        pks_pred = predicted_speedup_between(
+            pks.selection, "pks", context.golden, turing
+        )
+        rows.append(
+            {
+                "workload": label,
+                "hardware": hardware,
+                "sieve": sieve_pred,
+                "pks": pks_pred,
+                "sieve_error": relative_speedup_error(sieve_pred, hardware),
+                "pks_error": relative_speedup_error(pks_pred, hardware),
+            }
+        )
+    return rows
+
+
+# --------------------------------------------------------------------- #
+# Figure 10: theta sensitivity
+
+
+def figure10_theta_sweep(
+    thetas: tuple[float, ...] = (0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0),
+    labels: list[str] | None = None,
+    max_invocations: int | None = None,
+) -> list[dict]:
+    """Average Sieve error and hmean speedup per theta (Figure 10)."""
+    labels = labels if labels is not None else _challenging_labels()
+    rows = []
+    for theta in thetas:
+        errors = []
+        speedups = []
+        for label in labels:
+            context = build_context(label, max_invocations)
+            result = evaluate_sieve(context, SieveConfig(theta=theta))
+            errors.append(result.error)
+            if not label.endswith("/gst"):
+                speedups.append(result.speedup)
+        rows.append(
+            {
+                "theta": theta,
+                "avg_error": float(np.mean(errors)),
+                "max_error": float(np.max(errors)),
+                "hmean_speedup": harmonic_mean(speedups),
+            }
+        )
+    return rows

@@ -1,0 +1,46 @@
+"""Evaluation metrics (Section IV-3).
+
+* ``prediction_error`` — |predicted - measured| / measured;
+* ``simulation_speedup`` — total workload cycles over cycles of the
+  selected representative invocations;
+* ``relative_speedup_error`` — error of a method's predicted
+  cross-architecture speedup against the hardware speedup (Figure 9);
+* ``harmonic_mean`` — the mean the paper uses to aggregate speedups.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.types import SampleSelection
+from repro.gpu.hardware import WorkloadMeasurement
+from repro.utils.validation import require
+
+
+def prediction_error(predicted_cycles: float, measured_cycles: float) -> float:
+    """The paper's error metric: absolute relative cycle-count error."""
+    require(measured_cycles > 0, "measured cycles must be positive")
+    return abs(predicted_cycles - measured_cycles) / measured_cycles
+
+
+def simulation_speedup(
+    selection: SampleSelection, measurement: WorkloadMeasurement
+) -> float:
+    """Total workload cycles / cycles of the representatives only."""
+    sample = selection.sample_cycles(measurement)
+    require(sample > 0, "sample executes zero cycles")
+    return measurement.total_cycles / sample
+
+
+def relative_speedup_error(predicted_speedup: float, true_speedup: float) -> float:
+    """Error of a predicted cross-architecture speedup (Figure 9)."""
+    require(true_speedup > 0, "true speedup must be positive")
+    return abs(predicted_speedup - true_speedup) / true_speedup
+
+
+def harmonic_mean(values: list[float] | np.ndarray) -> float:
+    """Unweighted harmonic mean (the paper's speedup aggregate)."""
+    values = np.asarray(values, dtype=np.float64)
+    require(len(values) >= 1, "need at least one value")
+    require(bool(np.all(values > 0)), "harmonic mean requires positive values")
+    return float(len(values) / np.sum(1.0 / values))

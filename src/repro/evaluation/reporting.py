@@ -1,0 +1,42 @@
+"""Plain-text table rendering for benches, the CLI and EXPERIMENTS.md."""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    """Render an aligned monospace table."""
+    materialized = [[_cell(value) for value in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in materialized:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells)).rstrip()
+
+    separator = "  ".join("-" * w for w in widths)
+    body = [line(headers), separator]
+    body += [line(row) for row in materialized]
+    return "\n".join(body)
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.01:
+            return f"{value:.3g}"
+        return f"{value:.2f}"
+    return str(value)
+
+
+def percent(value: float) -> str:
+    """Format a ratio as a percentage string."""
+    return f"{value * 100:.2f}%"
+
+
+def times(value: float) -> str:
+    """Format a speedup as e.g. '1272x'."""
+    return f"{value:,.0f}x"

@@ -1,0 +1,125 @@
+"""Method evaluation: run Sieve or PKS on a context, collect all metrics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.baselines.pks import PksConfig, PksPipeline, cycles_in_table_order
+from repro.core.config import SieveConfig
+from repro.core.pipeline import SievePipeline
+from repro.core.types import SampleSelection
+from repro.evaluation.context import WorkloadContext
+from repro.evaluation.dispersion import weighted_cycle_cov
+from repro.evaluation.metrics import prediction_error, simulation_speedup
+
+
+@dataclass(frozen=True)
+class MethodResult:
+    """One sampling method's full scorecard on one workload."""
+
+    workload: str
+    method: str
+    error: float
+    speedup: float
+    num_representatives: int
+    cycle_cov: float  # weighted within-group cycle dispersion (Figure 4)
+    predicted_cycles: float
+    measured_cycles: int
+    selection: SampleSelection
+
+    @property
+    def error_percent(self) -> float:
+        return self.error * 100.0
+
+
+def evaluate_sieve(
+    context: WorkloadContext, config: SieveConfig | None = None
+) -> MethodResult:
+    """Run the Sieve pipeline on a workload context."""
+    pipeline = SievePipeline(config)
+    selection = pipeline.select(context.sieve_table)
+    prediction = pipeline.predict(selection, context.golden)
+    cycles = cycles_in_table_order(context.sieve_table, context.golden)
+    cov = weighted_cycle_cov((s.rows for s in selection.strata), cycles)
+    return MethodResult(
+        workload=context.label,
+        method=selection.method,
+        error=prediction_error(prediction.predicted_cycles, context.golden.total_cycles),
+        speedup=simulation_speedup(selection, context.golden),
+        num_representatives=selection.num_representatives,
+        cycle_cov=cov,
+        predicted_cycles=prediction.predicted_cycles,
+        measured_cycles=context.golden.total_cycles,
+        selection=selection,
+    )
+
+
+def evaluate_pks(
+    context: WorkloadContext, config: PksConfig | None = None
+) -> MethodResult:
+    """Run the PKS pipeline on a workload context."""
+    pipeline = PksPipeline(config)
+    selection = pipeline.select(context.pks_table, context.golden)
+    prediction = pipeline.predict(selection, context.golden)
+    cycles = cycles_in_table_order(context.pks_table, context.golden)
+    cov = weighted_cycle_cov(selection.cluster_rows, cycles)
+    return MethodResult(
+        workload=context.label,
+        method=selection.method,
+        error=prediction_error(prediction.predicted_cycles, context.golden.total_cycles),
+        speedup=simulation_speedup(selection, context.golden),
+        num_representatives=selection.num_representatives,
+        cycle_cov=cov,
+        predicted_cycles=prediction.predicted_cycles,
+        measured_cycles=context.golden.total_cycles,
+        selection=selection,
+    )
+
+
+def predicted_speedup_between(
+    selection: SampleSelection,
+    method: str,
+    baseline,  # WorkloadMeasurement on the baseline architecture
+    other,  # WorkloadMeasurement on the comparison architecture
+) -> float:
+    """A method's predicted (other -> baseline) wall-time speedup (Fig. 9).
+
+    Both methods predict per-architecture application cycles from the same
+    representatives; wall-time speedup follows from the clocks.
+    """
+    from repro.baselines.pks import PksPipeline as _Pks
+    from repro.core.pipeline import SievePipeline as _Sieve
+
+    if method == "sieve":
+        pipe = _Sieve()
+        base_cycles = pipe.predict(selection, baseline).predicted_cycles
+        other_cycles = pipe.predict(selection, other).predicted_cycles
+    else:
+        pipe = _Pks()
+        base_cycles = pipe.predict(selection, baseline).predicted_cycles
+        other_cycles = pipe.predict(selection, other).predicted_cycles
+    base_seconds = base_cycles / (baseline.clock_ghz * 1e9)
+    other_seconds = other_cycles / (other.clock_ghz * 1e9)
+    return other_seconds / base_seconds
+
+
+def hardware_speedup_between(baseline, other) -> float:
+    """Measured (other -> baseline) wall-time speedup."""
+    return other.wall_time_seconds / baseline.wall_time_seconds
+
+
+def sieve_tier_fractions(context: WorkloadContext, theta: float) -> np.ndarray:
+    """Invocation fractions in Tier-1/2/3 at threshold ``theta`` (Fig. 2)."""
+    from repro.core.tiers import classify_invocations
+
+    table = context.sieve_table
+    counts = np.zeros(3)
+    for kernel_id in range(table.num_kernels):
+        rows = table.rows_for_kernel(kernel_id)
+        if len(rows) == 0:
+            continue
+        tier = classify_invocations(table.insn_count[rows], theta).tier
+        counts[tier.value - 1] += len(rows)
+    return counts / counts.sum()

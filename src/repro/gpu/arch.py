@@ -1,0 +1,132 @@
+"""GPU architecture configurations.
+
+Two concrete configurations mirror the paper's experimental setup
+(Section IV): an RTX 3080 (Ampere GA102, 68 SMs, 10 GB, 760 GB/s) as the
+baseline, and an RTX 2080Ti (Turing TU102, 68 SMs, 11 GB, 616 GB/s) for the
+relative-accuracy study (Figure 9).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.utils.validation import require
+
+#: Threads per warp on every Nvidia architecture modeled here.
+WARP_SIZE = 32
+
+#: Bytes per coalesced global-memory transaction (one 32-byte sector).
+SECTOR_BYTES = 32
+
+
+@dataclass(frozen=True)
+class GpuArchitecture:
+    """Static description of a GPU chip used by the timing model.
+
+    Throughput fields are expressed per SM per cycle in *thread-level*
+    lanes; the timing model converts them to warp-instruction throughput by
+    dividing by :data:`WARP_SIZE`.
+    """
+
+    name: str
+    family: str  # "ampere" | "turing" | ...
+    num_sms: int
+    clock_ghz: float
+    memory_gb: float
+    dram_bandwidth_gbs: float
+    l2_size_bytes: int
+    max_threads_per_sm: int
+    max_warps_per_sm: int
+    max_ctas_per_sm: int
+    registers_per_sm: int
+    shared_memory_per_sm: int
+    schedulers_per_sm: int  # dual-issue ports; peak warp-insns issued /cycle/SM
+    fp32_lanes_per_sm: int
+    int32_lanes_per_sm: int
+    sfu_lanes_per_sm: int
+    lsu_lanes_per_sm: int
+    dram_latency_cycles: float
+    kernel_launch_overhead_cycles: float
+
+    def __post_init__(self) -> None:
+        require(self.num_sms > 0, "num_sms must be positive")
+        require(self.clock_ghz > 0, "clock_ghz must be positive")
+        require(self.dram_bandwidth_gbs > 0, "bandwidth must be positive")
+        require(self.max_threads_per_sm >= WARP_SIZE, "SM must hold a warp")
+        require(
+            self.max_warps_per_sm * WARP_SIZE <= self.max_threads_per_sm * 2,
+            "warp limit inconsistent with thread limit",
+        )
+
+    @property
+    def bytes_per_cycle(self) -> float:
+        """Aggregate DRAM bytes deliverable per core cycle."""
+        return self.dram_bandwidth_gbs / self.clock_ghz
+
+    def warp_throughput(self, unit_lanes: int) -> float:
+        """Warp-instructions per cycle per SM for a unit with ``unit_lanes``."""
+        return unit_lanes / WARP_SIZE
+
+
+#: The paper's baseline GPU: Nvidia RTX 3080, Ampere GA102.
+#: Ampere doubles the FP32 datapath per SM relative to Turing (the second
+#: FP32 pipe is shared with INT32), which is why FP-heavy kernels gain more
+#: from Ampere than INT-heavy ones.
+AMPERE_RTX3080 = GpuArchitecture(
+    name="rtx3080",
+    family="ampere",
+    num_sms=68,
+    clock_ghz=1.710,
+    memory_gb=10.0,
+    dram_bandwidth_gbs=760.0,
+    l2_size_bytes=5 * 1024 * 1024,
+    max_threads_per_sm=1536,
+    max_warps_per_sm=48,
+    max_ctas_per_sm=16,
+    registers_per_sm=65536,
+    shared_memory_per_sm=100 * 1024,
+    schedulers_per_sm=4,
+    fp32_lanes_per_sm=128,
+    int32_lanes_per_sm=64,
+    sfu_lanes_per_sm=16,
+    lsu_lanes_per_sm=32,
+    dram_latency_cycles=470.0,
+    kernel_launch_overhead_cycles=3000.0,
+)
+
+#: The paper's second GPU: Nvidia RTX 2080Ti, Turing TU102.
+TURING_RTX2080TI = GpuArchitecture(
+    name="rtx2080ti",
+    family="turing",
+    num_sms=68,
+    clock_ghz=1.545,
+    memory_gb=11.0,
+    dram_bandwidth_gbs=616.0,
+    l2_size_bytes=int(5.5 * 1024 * 1024),
+    max_threads_per_sm=1024,
+    max_warps_per_sm=32,
+    max_ctas_per_sm=16,
+    registers_per_sm=65536,
+    shared_memory_per_sm=64 * 1024,
+    schedulers_per_sm=4,
+    fp32_lanes_per_sm=64,
+    int32_lanes_per_sm=64,
+    sfu_lanes_per_sm=16,
+    lsu_lanes_per_sm=32,
+    dram_latency_cycles=420.0,
+    kernel_launch_overhead_cycles=3000.0,
+)
+
+KNOWN_ARCHITECTURES: dict[str, GpuArchitecture] = {
+    AMPERE_RTX3080.name: AMPERE_RTX3080,
+    TURING_RTX2080TI.name: TURING_RTX2080TI,
+}
+
+
+def architecture_by_name(name: str) -> GpuArchitecture:
+    """Look up a known architecture configuration by its short name."""
+    try:
+        return KNOWN_ARCHITECTURES[name]
+    except KeyError:
+        known = ", ".join(sorted(KNOWN_ARCHITECTURES))
+        raise KeyError(f"unknown architecture {name!r}; known: {known}") from None

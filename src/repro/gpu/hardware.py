@@ -1,0 +1,134 @@
+"""Hardware execution: the golden-reference "real silicon".
+
+:class:`HardwareExecutor` plays the role of the paper's RTX 3080 / RTX
+2080Ti test machines. Running a workload yields the per-invocation cycle
+counts (with small, deterministic measurement noise) that both samplers'
+accuracy is judged against — the paper's "golden reference, total cycle
+count, collected on real hardware" (Section IV).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Protocol
+
+import numpy as np
+
+from repro.gpu.arch import GpuArchitecture
+from repro.gpu.kernel import InvocationBatch, KernelTraits
+from repro.gpu.timing import invocation_timing
+from repro.utils.seeding import rng_for
+
+
+class KernelLike(Protocol):
+    """What the executor needs from a kernel object."""
+
+    @property
+    def traits(self) -> KernelTraits: ...
+
+    @property
+    def batch(self) -> InvocationBatch: ...
+
+
+class WorkloadLike(Protocol):
+    """What the executor needs from a workload object."""
+
+    @property
+    def name(self) -> str: ...
+
+    @property
+    def kernels(self) -> Iterable[KernelLike]: ...
+
+
+@dataclass(frozen=True)
+class KernelMeasurement:
+    """Measured execution of all invocations of one kernel."""
+
+    kernel_name: str
+    cycles: np.ndarray  # int64, per invocation
+    insn_count: np.ndarray  # int64, per invocation (copied for convenience)
+
+    @property
+    def ipc(self) -> np.ndarray:
+        """Instructions per cycle, per invocation."""
+        return self.insn_count.astype(np.float64) / self.cycles.astype(np.float64)
+
+    @property
+    def total_cycles(self) -> int:
+        return int(self.cycles.sum())
+
+
+@dataclass(frozen=True)
+class WorkloadMeasurement:
+    """Measured execution of a whole workload on one architecture."""
+
+    workload_name: str
+    architecture: str
+    clock_ghz: float
+    per_kernel: dict[str, KernelMeasurement]
+
+    @property
+    def total_cycles(self) -> int:
+        """Golden-reference application cycle count (sum over invocations)."""
+        return sum(m.total_cycles for m in self.per_kernel.values())
+
+    @property
+    def total_instructions(self) -> int:
+        return int(sum(int(m.insn_count.sum()) for m in self.per_kernel.values()))
+
+    @property
+    def wall_time_seconds(self) -> float:
+        """End-to-end GPU time at the architecture's core clock."""
+        return self.total_cycles / (self.clock_ghz * 1e9)
+
+    def ipc(self) -> float:
+        """Application IPC: total instructions over total cycles."""
+        return self.total_instructions / self.total_cycles
+
+
+class HardwareExecutor:
+    """Execute workloads on a modeled GPU and report hardware counters.
+
+    Measurement noise is multiplicative log-normal with the kernel's
+    ``measurement_noise_cov``, seeded from (architecture, workload, kernel)
+    so repeated "runs" of the same experiment are identical — mirroring the
+    paper's single golden-reference collection per platform.
+    """
+
+    def __init__(self, arch: GpuArchitecture):
+        self.arch = arch
+
+    def measure_kernel(
+        self, workload_name: str, kernel_name: str, traits: KernelTraits,
+        batch: InvocationBatch,
+    ) -> KernelMeasurement:
+        """Measure every invocation of one kernel."""
+        timing = invocation_timing(self.arch, traits, batch)
+        cycles = timing.total_cycles
+        if traits.measurement_noise_cov > 0:
+            rng = rng_for("hardware", self.arch.name, workload_name, kernel_name)
+            sigma = traits.measurement_noise_cov
+            noise = rng.lognormal(mean=-0.5 * sigma**2, sigma=sigma, size=len(batch))
+            cycles = cycles * noise
+        return KernelMeasurement(
+            kernel_name=kernel_name,
+            cycles=np.maximum(np.rint(cycles), 1.0).astype(np.int64),
+            insn_count=batch.insn_count.astype(np.int64),
+        )
+
+    def measure(self, workload: WorkloadLike) -> WorkloadMeasurement:
+        """Measure every kernel invocation of ``workload``."""
+        per_kernel: dict[str, KernelMeasurement] = {}
+        for kernel in workload.kernels:
+            name = kernel.traits.name
+            if name in per_kernel:
+                raise ValueError(f"duplicate kernel name {name!r} in workload")
+            per_kernel[name] = self.measure_kernel(
+                workload.name, name, kernel.traits, kernel.batch
+            )
+        return WorkloadMeasurement(
+            workload_name=workload.name,
+            architecture=self.arch.name,
+            clock_ghz=self.arch.clock_ghz,
+            per_kernel=per_kernel,
+        )

@@ -1,0 +1,104 @@
+"""A miniature SASS-like instruction set.
+
+The trace package (Section V-G reproduction) emits and simulates
+instruction traces in this ISA. It is a deliberately small subset of SASS
+covering the classes the timing model distinguishes: FP32/INT32 arithmetic,
+special-function ops, the memory-space load/store families, atomics,
+branches and the exit marker.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.utils.validation import require
+
+
+class OpClass(Enum):
+    """Execution-unit class of an opcode."""
+
+    FP32 = "fp32"
+    INT32 = "int32"
+    SFU = "sfu"
+    LOAD_GLOBAL = "ldg"
+    STORE_GLOBAL = "stg"
+    LOAD_SHARED = "lds"
+    STORE_SHARED = "sts"
+    LOAD_LOCAL = "ldl"
+    STORE_LOCAL = "stl"
+    ATOMIC = "atom"
+    BRANCH = "bra"
+    EXIT = "exit"
+
+    @property
+    def is_memory(self) -> bool:
+        return self in _MEMORY_CLASSES
+
+    @property
+    def is_global_memory(self) -> bool:
+        return self in (OpClass.LOAD_GLOBAL, OpClass.STORE_GLOBAL, OpClass.ATOMIC)
+
+
+_MEMORY_CLASSES = frozenset(
+    {
+        OpClass.LOAD_GLOBAL,
+        OpClass.STORE_GLOBAL,
+        OpClass.LOAD_SHARED,
+        OpClass.STORE_SHARED,
+        OpClass.LOAD_LOCAL,
+        OpClass.STORE_LOCAL,
+        OpClass.ATOMIC,
+    }
+)
+
+#: Representative SASS mnemonics per class, used when rendering traces.
+MNEMONICS: dict[OpClass, str] = {
+    OpClass.FP32: "FFMA",
+    OpClass.INT32: "IMAD",
+    OpClass.SFU: "MUFU",
+    OpClass.LOAD_GLOBAL: "LDG.E",
+    OpClass.STORE_GLOBAL: "STG.E",
+    OpClass.LOAD_SHARED: "LDS",
+    OpClass.STORE_SHARED: "STS",
+    OpClass.LOAD_LOCAL: "LDL",
+    OpClass.STORE_LOCAL: "STL",
+    OpClass.ATOMIC: "ATOM.ADD",
+    OpClass.BRANCH: "BRA",
+    OpClass.EXIT: "EXIT",
+}
+
+_BY_MNEMONIC = {mnemonic: op for op, mnemonic in MNEMONICS.items()}
+
+
+def opclass_for_mnemonic(mnemonic: str) -> OpClass:
+    """Inverse of :data:`MNEMONICS` (raises ``KeyError`` if unknown)."""
+    return _BY_MNEMONIC[mnemonic]
+
+
+@dataclass(frozen=True)
+class WarpInstruction:
+    """One warp-level dynamic instruction in a trace.
+
+    ``active_mask`` is the 32-bit lane mask; ``address`` is the base
+    address of a memory access (0 for non-memory ops); ``dest`` / ``srcs``
+    are small register ids used by the scoreboard for dependence tracking.
+    """
+
+    opclass: OpClass
+    active_mask: int = 0xFFFFFFFF
+    address: int = 0
+    dest: int = -1  # -1: no destination register
+    srcs: tuple[int, ...] = ()
+
+    def __post_init__(self) -> None:
+        require(0 <= self.active_mask <= 0xFFFFFFFF, "mask must fit 32 bits")
+        require(self.address >= 0, "address must be non-negative")
+
+    @property
+    def mnemonic(self) -> str:
+        return MNEMONICS[self.opclass]
+
+    @property
+    def active_lanes(self) -> int:
+        return bin(self.active_mask).count("1")

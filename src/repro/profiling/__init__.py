@@ -1,0 +1,32 @@
+"""Profiling substrate.
+
+Models the two profiler front-ends the paper uses: Nsight Compute (heavy,
+multi-pass, used by PKS to collect 12 execution characteristics) and an
+NVBit-style instrumentation tool (light-weight, single-pass, sufficient for
+Sieve's single characteristic). Both produce a :class:`ProfileTable` — "a
+big table with as many rows as there are kernel invocations" (Section
+III-A) — plus a modeled profiling cost, which is what Figure 7 compares.
+"""
+
+from repro.profiling.cost import ProfilingCost, ProfilingCostModel
+from repro.profiling.csv_io import read_profile_csv, write_profile_csv
+from repro.profiling.metrics import PKS_METRICS, SIEVE_METRICS, MetricDefinition
+from repro.profiling.nsight import NsightComputeProfiler
+from repro.profiling.nvbit import NVBitProfiler
+from repro.profiling.table import ProfileTable
+from repro.profiling.two_level import TwoLevelProfile, TwoLevelProfiler
+
+__all__ = [
+    "MetricDefinition",
+    "PKS_METRICS",
+    "SIEVE_METRICS",
+    "ProfileTable",
+    "NsightComputeProfiler",
+    "NVBitProfiler",
+    "ProfilingCost",
+    "ProfilingCostModel",
+    "TwoLevelProfile",
+    "TwoLevelProfiler",
+    "read_profile_csv",
+    "write_profile_csv",
+]

@@ -1,0 +1,64 @@
+"""Shared machinery for the profiler front-ends."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.gpu.arch import GpuArchitecture
+from repro.gpu.memory import memory_traffic
+from repro.gpu.timing import invocation_timing
+from repro.profiling.table import ProfileTable
+from repro.workloads.generator import WorkloadRun
+
+
+def flatten_chronological(run: WorkloadRun) -> ProfileTable:
+    """Flatten a workload run into a chronological profile table.
+
+    The returned table carries the full metric matrix; front-ends strip it
+    down to what their tool actually collects.
+    """
+    kernel_names = tuple(k.traits.name for k in run.kernels)
+    kernel_id = np.concatenate(
+        [np.full(len(k), i, dtype=np.int32) for i, k in enumerate(run.kernels)]
+    )
+    invocation_id = np.concatenate(
+        [np.arange(len(k), dtype=np.int64) for k in run.kernels]
+    )
+    chrono = np.concatenate([k.batch.chrono_index for k in run.kernels])
+    insn = np.concatenate([k.batch.insn_count for k in run.kernels])
+    cta_size = np.concatenate([k.batch.cta_size for k in run.kernels])
+    num_ctas = np.concatenate([k.batch.num_ctas for k in run.kernels])
+    metrics = np.concatenate([k.batch.pks_metric_matrix() for k in run.kernels])
+
+    order = np.argsort(chrono, kind="stable")
+    return ProfileTable(
+        workload=run.label,
+        kernel_names=kernel_names,
+        kernel_id=kernel_id[order],
+        invocation_id=invocation_id[order],
+        insn_count=insn[order],
+        cta_size=cta_size[order],
+        num_ctas=num_ctas[order],
+        metrics=metrics[order],
+    )
+
+
+def native_runtimes_and_footprints(
+    run: WorkloadRun, arch: GpuArchitecture
+) -> tuple[np.ndarray, np.ndarray]:
+    """Noiseless native runtime (s) and memory footprint (bytes) per
+    invocation, in chronological order — the inputs to the cost model."""
+    seconds_parts: list[np.ndarray] = []
+    footprint_parts: list[np.ndarray] = []
+    chrono_parts: list[np.ndarray] = []
+    for kernel in run.kernels:
+        timing = invocation_timing(arch, kernel.traits, kernel.batch)
+        seconds_parts.append(timing.total_cycles / (arch.clock_ghz * 1e9))
+        traffic = memory_traffic(arch, kernel.traits, kernel.batch)
+        footprint_parts.append(np.minimum(traffic.dram_bytes, arch.memory_gb * 1e9))
+        chrono_parts.append(kernel.batch.chrono_index)
+    order = np.argsort(np.concatenate(chrono_parts), kind="stable")
+    return (
+        np.concatenate(seconds_parts)[order],
+        np.concatenate(footprint_parts)[order],
+    )

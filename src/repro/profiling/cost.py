@@ -1,0 +1,124 @@
+"""Profiling cost model.
+
+Reproduces the profiling-time dynamics the paper reports (Section V-C,
+Figure 7):
+
+* Nsight Compute collects each metric group in a separate kernel *replay
+  pass*, saving and restoring device memory between passes;
+* Nsight's per-invocation bookkeeping grows super-linearly with the number
+  of kernel invocations already profiled ("profiling using Nsight Compute
+  becomes progressively slower as we profile an increasing number of
+  kernels");
+* workloads with a richer instruction-type population (MLPerf) need more
+  passes, which is why the paper's profiling speedup is higher for MLPerf
+  than for Cactus;
+* NVBit-style binary instrumentation runs a single pass at a modest
+  slowdown and is what Sieve needs for its one characteristic.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+#: Kernel-replay slowdown factors (relative to native execution).
+NSIGHT_REPLAY_SLOWDOWN = 7.0
+NVBIT_SLOWDOWN = 25.0
+
+#: Metrics Nsight can collect per replay pass.
+NSIGHT_METRICS_PER_PASS = 3
+
+#: Device-memory save/restore bandwidth between replay passes (bytes/s).
+SAVE_RESTORE_BANDWIDTH = 12.0e9
+
+#: Fixed per-invocation Nsight bookkeeping (seconds) and its super-linear
+#: growth per invocation already profiled.
+NSIGHT_FIXED_SECONDS = 2.0e-3
+NSIGHT_SUPERLINEAR = 2.0e-6
+
+#: Fixed per-invocation NVBit overhead (seconds).
+NVBIT_FIXED_SECONDS = 5.0e-5
+
+
+@dataclass(frozen=True)
+class ProfilingCost:
+    """Modeled wall-clock cost of one profiling campaign."""
+
+    tool: str
+    workload: str
+    num_invocations: int
+    replay_passes: int
+    replay_seconds: float
+    save_restore_seconds: float
+    bookkeeping_seconds: float
+
+    @property
+    def total_seconds(self) -> float:
+        return (
+            self.replay_seconds
+            + self.save_restore_seconds
+            + self.bookkeeping_seconds
+        )
+
+    @property
+    def total_days(self) -> float:
+        return self.total_seconds / 86_400.0
+
+
+class ProfilingCostModel:
+    """Computes profiling cost for both tools from native runtimes."""
+
+    def nsight_cost(
+        self,
+        workload: str,
+        native_seconds: np.ndarray,
+        footprint_bytes: np.ndarray,
+        num_metrics: int,
+        complexity: float = 1.0,
+    ) -> ProfilingCost:
+        """Cost of an Nsight Compute campaign collecting ``num_metrics``.
+
+        ``native_seconds`` and ``footprint_bytes`` are per-invocation
+        arrays; ``complexity`` scales the pass count for instruction-type
+        richness.
+        """
+        native_seconds = np.asarray(native_seconds, dtype=np.float64)
+        footprint_bytes = np.asarray(footprint_bytes, dtype=np.float64)
+        n = len(native_seconds)
+        passes = max(1, math.ceil(num_metrics / NSIGHT_METRICS_PER_PASS * complexity))
+        replay = float(native_seconds.sum()) * passes * NSIGHT_REPLAY_SLOWDOWN
+        # One save plus one restore per extra pass.
+        save_restore = float(footprint_bytes.sum()) * 2.0 * max(passes - 1, 0) / (
+            SAVE_RESTORE_BANDWIDTH
+        )
+        indices = np.arange(n, dtype=np.float64)
+        bookkeeping = float(
+            np.sum(NSIGHT_FIXED_SECONDS * passes * (1.0 + NSIGHT_SUPERLINEAR * indices))
+        )
+        return ProfilingCost(
+            tool="nsight-compute",
+            workload=workload,
+            num_invocations=n,
+            replay_passes=passes,
+            replay_seconds=replay,
+            save_restore_seconds=save_restore,
+            bookkeeping_seconds=bookkeeping,
+        )
+
+    def nvbit_cost(
+        self, workload: str, native_seconds: np.ndarray
+    ) -> ProfilingCost:
+        """Cost of a single-pass NVBit instruction-count campaign."""
+        native_seconds = np.asarray(native_seconds, dtype=np.float64)
+        n = len(native_seconds)
+        return ProfilingCost(
+            tool="nvbit",
+            workload=workload,
+            num_invocations=n,
+            replay_passes=1,
+            replay_seconds=float(native_seconds.sum()) * NVBIT_SLOWDOWN,
+            save_restore_seconds=0.0,
+            bookkeeping_seconds=n * NVBIT_FIXED_SECONDS,
+        )

@@ -1,0 +1,112 @@
+"""CSV serialization of profile tables.
+
+Section IV: "The data is converted into a readable CSV file which serves as
+input to PKS and Sieve." This module round-trips :class:`ProfileTable`
+through that CSV format.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+import numpy as np
+
+from repro.gpu.kernel import PKS_METRIC_NAMES
+from repro.profiling.table import ProfileTable
+from repro.utils.validation import require
+
+_BASE_COLUMNS = ("kernel_name", "invocation_id", "insn_count", "cta_size", "num_ctas")
+
+
+def write_profile_csv(table: ProfileTable, path: str | Path) -> None:
+    """Write ``table`` to ``path`` as CSV (one row per invocation)."""
+    path = Path(path)
+    with_metrics = table.metrics is not None
+    header = list(_BASE_COLUMNS)
+    if with_metrics:
+        header += [name for name in table.metric_names if name != "instruction_count"]
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["# workload", table.workload])
+        writer.writerow(header)
+        for row in range(len(table)):
+            record: list[object] = [
+                table.kernel_name_of_row(row),
+                int(table.invocation_id[row]),
+                int(table.insn_count[row]),
+                int(table.cta_size[row]),
+                int(table.num_ctas[row]),
+            ]
+            if with_metrics:
+                record += [
+                    repr(float(table.metrics[row, j]))
+                    for j, name in enumerate(table.metric_names)
+                    if name != "instruction_count"
+                ]
+            writer.writerow(record)
+
+
+def read_profile_csv(path: str | Path) -> ProfileTable:
+    """Read a profile table previously written by :func:`write_profile_csv`."""
+    path = Path(path)
+    with path.open(newline="") as handle:
+        reader = csv.reader(handle)
+        preamble = next(reader)
+        require(preamble[:1] == ["# workload"], "missing workload preamble")
+        workload = preamble[1]
+        header = next(reader)
+        require(
+            tuple(header[: len(_BASE_COLUMNS)]) == _BASE_COLUMNS,
+            "unexpected CSV columns",
+        )
+        metric_columns = header[len(_BASE_COLUMNS):]
+        rows = list(reader)
+
+    kernel_names: list[str] = []
+    kernel_index: dict[str, int] = {}
+    kernel_id = np.empty(len(rows), dtype=np.int32)
+    invocation_id = np.empty(len(rows), dtype=np.int64)
+    insn = np.empty(len(rows), dtype=np.int64)
+    cta_size = np.empty(len(rows), dtype=np.int32)
+    num_ctas = np.empty(len(rows), dtype=np.int64)
+    metric_values = (
+        np.empty((len(rows), len(metric_columns)), dtype=np.float64)
+        if metric_columns
+        else None
+    )
+    for i, row in enumerate(rows):
+        name = row[0]
+        if name not in kernel_index:
+            kernel_index[name] = len(kernel_names)
+            kernel_names.append(name)
+        kernel_id[i] = kernel_index[name]
+        invocation_id[i] = int(row[1])
+        insn[i] = int(row[2])
+        cta_size[i] = int(row[3])
+        num_ctas[i] = int(row[4])
+        if metric_values is not None:
+            metric_values[i] = [float(v) for v in row[5:]]
+
+    metrics = None
+    if metric_values is not None:
+        # Reassemble the full Table II matrix in canonical column order,
+        # reinserting instruction_count from its dedicated column.
+        metrics = np.empty((len(rows), len(PKS_METRIC_NAMES)), dtype=np.float64)
+        stored = {name: j for j, name in enumerate(metric_columns)}
+        for j, name in enumerate(PKS_METRIC_NAMES):
+            if name == "instruction_count":
+                metrics[:, j] = insn.astype(np.float64)
+            else:
+                metrics[:, j] = metric_values[:, stored[name]]
+
+    return ProfileTable(
+        workload=workload,
+        kernel_names=tuple(kernel_names),
+        kernel_id=kernel_id,
+        invocation_id=invocation_id,
+        insn_count=insn,
+        cta_size=cta_size,
+        num_ctas=num_ctas,
+        metrics=metrics,
+    )

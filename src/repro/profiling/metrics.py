@@ -1,0 +1,70 @@
+"""Execution-characteristic definitions (Table II).
+
+PKS profiles twelve microarchitecture-independent characteristics; Sieve
+profiles exactly one (dynamic instruction count). The definitions here are
+the canonical list both profilers and the PKS feature matrix use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.gpu.kernel import PKS_METRIC_NAMES
+
+
+@dataclass(frozen=True)
+class MetricDefinition:
+    """One profiled execution characteristic."""
+
+    name: str
+    description: str
+    used_by_pks: bool
+    used_by_sieve: bool
+
+
+PKS_METRICS: tuple[MetricDefinition, ...] = (
+    MetricDefinition(
+        "coalesced_global_loads",
+        "global load transactions after coalescing",
+        True, False,
+    ),
+    MetricDefinition(
+        "coalesced_global_stores",
+        "global store transactions after coalescing",
+        True, False,
+    ),
+    MetricDefinition(
+        "coalesced_local_loads",
+        "local load transactions after coalescing",
+        True, False,
+    ),
+    MetricDefinition(
+        "thread_global_loads", "thread-level global loads", True, False
+    ),
+    MetricDefinition(
+        "thread_global_stores", "thread-level global stores", True, False
+    ),
+    MetricDefinition("thread_local_loads", "thread-level local loads", True, False),
+    MetricDefinition("thread_shared_loads", "thread-level shared loads", True, False),
+    MetricDefinition(
+        "thread_shared_stores", "thread-level shared stores", True, False
+    ),
+    MetricDefinition(
+        "thread_global_atomics", "thread-level global atomics", True, False
+    ),
+    MetricDefinition(
+        "instruction_count", "dynamic thread-level instruction count", True, True
+    ),
+    MetricDefinition(
+        "divergence_efficiency", "fraction of lanes active per issued warp",
+        True, False,
+    ),
+    MetricDefinition("num_thread_blocks", "CTAs in the launch grid", True, False),
+)
+
+#: The single characteristic Sieve profiles.
+SIEVE_METRICS: tuple[MetricDefinition, ...] = tuple(
+    m for m in PKS_METRICS if m.used_by_sieve
+)
+
+assert tuple(m.name for m in PKS_METRICS) == PKS_METRIC_NAMES

@@ -1,0 +1,39 @@
+"""Nsight Compute-style detailed profiler.
+
+Collects the full 12-characteristic Table II matrix (what PKS needs) by
+replaying each kernel invocation once per metric group, with device-memory
+save/restore between passes and bookkeeping that grows super-linearly in
+the number of invocations profiled — the behaviours the paper identifies as
+making PKS profiling take "multiple days, and in some cases even several
+weeks" (Section II-B).
+"""
+
+from __future__ import annotations
+
+from repro.gpu.arch import AMPERE_RTX3080, GpuArchitecture
+from repro.profiling.base import flatten_chronological, native_runtimes_and_footprints
+from repro.profiling.cost import ProfilingCost, ProfilingCostModel
+from repro.profiling.metrics import PKS_METRICS
+from repro.profiling.table import ProfileTable
+from repro.workloads.generator import WorkloadRun
+
+
+class NsightComputeProfiler:
+    """Twelve-characteristic profiler (what PKS uses)."""
+
+    def __init__(self, arch: GpuArchitecture = AMPERE_RTX3080):
+        self.arch = arch
+        self._cost_model = ProfilingCostModel()
+
+    def profile(self, run: WorkloadRun) -> tuple[ProfileTable, ProfilingCost]:
+        """Profile ``run``; returns (full metric table, modeled cost)."""
+        table = flatten_chronological(run)
+        native_seconds, footprints = native_runtimes_and_footprints(run, self.arch)
+        cost = self._cost_model.nsight_cost(
+            run.label,
+            native_seconds,
+            footprints,
+            num_metrics=len(PKS_METRICS),
+            complexity=run.spec.profiling_complexity,
+        )
+        return table, cost

@@ -1,0 +1,83 @@
+"""The per-invocation profile table both samplers consume.
+
+Section III-A: "the profile essentially is a big table with as many rows as
+there are kernel invocations". Rows are stored in chronological order, the
+order a real profiler emits them. A Sieve profile carries only instruction
+counts and launch shapes; a PKS profile additionally carries the full
+12-column Table II metric matrix.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.gpu.kernel import PKS_METRIC_NAMES
+from repro.utils.validation import require
+
+
+@dataclass
+class ProfileTable:
+    """Chronologically ordered per-invocation profile of one workload.
+
+    ``kernel_names[kernel_id[i]]`` is row ``i``'s kernel;
+    ``invocation_id[i]`` is the row's per-kernel invocation index (the
+    paper's "kernel invocation ID"). ``metrics`` is either ``None`` (Sieve
+    profile) or the ``(rows, 12)`` Table II matrix (PKS profile).
+    """
+
+    workload: str
+    kernel_names: tuple[str, ...]
+    kernel_id: np.ndarray  # int32, per row
+    invocation_id: np.ndarray  # int64, per-kernel chronological index
+    insn_count: np.ndarray  # int64
+    cta_size: np.ndarray  # int32
+    num_ctas: np.ndarray  # int64
+    metrics: np.ndarray | None = None
+    metric_names: tuple[str, ...] = field(default=PKS_METRIC_NAMES)
+
+    def __post_init__(self) -> None:
+        n = len(self.kernel_id)
+        for column in (self.invocation_id, self.insn_count, self.cta_size,
+                       self.num_ctas):
+            require(len(column) == n, "profile columns must align")
+        require(bool(np.all(self.kernel_id >= 0)), "kernel ids must be >= 0")
+        require(
+            bool(np.all(self.kernel_id < len(self.kernel_names))),
+            "kernel id out of range",
+        )
+        if self.metrics is not None:
+            require(self.metrics.shape == (n, len(self.metric_names)),
+                    "metric matrix shape mismatch")
+
+    def __len__(self) -> int:
+        return len(self.kernel_id)
+
+    @property
+    def num_kernels(self) -> int:
+        return len(self.kernel_names)
+
+    @property
+    def total_instructions(self) -> int:
+        return int(self.insn_count.sum())
+
+    def rows_for_kernel(self, kernel_id: int) -> np.ndarray:
+        """Row indices (chronological) of one kernel's invocations."""
+        return np.flatnonzero(self.kernel_id == kernel_id)
+
+    def kernel_name_of_row(self, row: int) -> str:
+        return self.kernel_names[int(self.kernel_id[row])]
+
+    def without_metrics(self) -> "ProfileTable":
+        """A copy stripped to the Sieve-visible columns."""
+        return ProfileTable(
+            workload=self.workload,
+            kernel_names=self.kernel_names,
+            kernel_id=self.kernel_id,
+            invocation_id=self.invocation_id,
+            insn_count=self.insn_count,
+            cta_size=self.cta_size,
+            num_ctas=self.num_ctas,
+            metrics=None,
+        )

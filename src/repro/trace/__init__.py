@@ -1,0 +1,39 @@
+"""Trace-driven simulation substrate (Section V-G).
+
+The end purpose of Sieve is to hand a *reduced* set of kernel invocations
+to a detailed simulator. The paper modifies the Accel-sim tracer (built on
+NVBit) to emit SASS traces for only the selected invocations, then
+simulates those traces. This package reproduces that pipeline in
+miniature:
+
+* :mod:`repro.trace.encoding` — the plain-text trace format;
+* :mod:`repro.trace.tracer` — emit (scaled) instruction traces for the
+  representative invocations only;
+* :mod:`repro.trace.simulator` — a cycle-level trace-driven GPU simulator
+  (warp schedulers, scoreboard, execution units, L1/L2 caches, DRAM);
+* :mod:`repro.trace.simtime` — serial vs parallel simulation wall-time
+  accounting at a configurable simulator speed (the paper quotes ~6 KIPS);
+* :mod:`repro.trace.projection` — a PKP-style IPC-convergence early-exit
+  (the extension the paper notes is orthogonal to both Sieve and PKS).
+"""
+
+from repro.trace.encoding import KernelTrace, parse_trace, render_trace
+from repro.trace.projection import ProjectionResult, simulate_with_projection
+from repro.trace.simtime import SimulationTimeEstimate, estimate_simulation_time
+from repro.trace.simulator import SimulatorConfig, SimulationResult, TraceSimulator
+from repro.trace.tracer import SelectionTracer, TracerConfig
+
+__all__ = [
+    "KernelTrace",
+    "render_trace",
+    "parse_trace",
+    "TracerConfig",
+    "SelectionTracer",
+    "SimulatorConfig",
+    "SimulationResult",
+    "TraceSimulator",
+    "SimulationTimeEstimate",
+    "estimate_simulation_time",
+    "ProjectionResult",
+    "simulate_with_projection",
+]

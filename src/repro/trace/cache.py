@@ -1,0 +1,64 @@
+"""Set-associative cache model for the trace-driven simulator."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.utils.validation import require
+
+
+@dataclass
+class CacheStats:
+    accesses: int = 0
+    hits: int = 0
+
+    @property
+    def misses(self) -> int:
+        return self.accesses - self.hits
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.accesses if self.accesses else 0.0
+
+
+@dataclass
+class SetAssociativeCache:
+    """LRU set-associative cache tracking tags only (no data).
+
+    ``access`` returns True on hit. Misses allocate (write-allocate for
+    stores, which is how sector caches on modern GPUs behave for the
+    simulator's purposes).
+    """
+
+    size_bytes: int
+    line_bytes: int = 32
+    associativity: int = 4
+    stats: CacheStats = field(default_factory=CacheStats)
+
+    def __post_init__(self) -> None:
+        require(self.size_bytes >= self.line_bytes, "cache smaller than a line")
+        require(self.associativity >= 1, "associativity must be >= 1")
+        num_lines = self.size_bytes // self.line_bytes
+        self.num_sets = max(num_lines // self.associativity, 1)
+        # Per-set list of tags in LRU order (index 0 = least recent).
+        self._sets: list[list[int]] = [[] for _ in range(self.num_sets)]
+
+    def access(self, address: int) -> bool:
+        """Access one address; returns True on hit, False on miss+fill."""
+        line = address // self.line_bytes
+        index = line % self.num_sets
+        tag = line // self.num_sets
+        entries = self._sets[index]
+        self.stats.accesses += 1
+        if tag in entries:
+            entries.remove(tag)
+            entries.append(tag)
+            self.stats.hits += 1
+            return True
+        entries.append(tag)
+        if len(entries) > self.associativity:
+            entries.pop(0)
+        return False
+
+    def reset_stats(self) -> None:
+        self.stats = CacheStats()

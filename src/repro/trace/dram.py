@@ -1,0 +1,35 @@
+"""DRAM model for the trace-driven simulator.
+
+Fixed service latency plus a bandwidth-limited service queue: each request
+occupies the channel for ``cycles_per_request`` cycles; a request issued at
+cycle ``t`` completes at ``max(t, channel_free) + latency``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.utils.validation import require
+
+
+@dataclass
+class DramModel:
+    latency_cycles: int = 300
+    cycles_per_request: float = 2.0  # channel occupancy per 32B sector
+
+    def __post_init__(self) -> None:
+        require(self.latency_cycles >= 1, "latency must be >= 1 cycle")
+        require(self.cycles_per_request > 0, "occupancy must be positive")
+        self._channel_free = 0.0
+        self.requests = 0
+
+    def request(self, cycle: int) -> int:
+        """Issue one sector request at ``cycle``; returns completion cycle."""
+        start = max(float(cycle), self._channel_free)
+        self._channel_free = start + self.cycles_per_request
+        self.requests += 1
+        return int(start + self.latency_cycles)
+
+    def reset(self) -> None:
+        self._channel_free = 0.0
+        self.requests = 0

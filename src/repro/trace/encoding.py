@@ -1,0 +1,103 @@
+"""Plain-text SASS-like trace format.
+
+The paper: "The traces are simple plain text files which are then simulated
+by Accel-sim on conventional CPUs." One trace file holds one kernel
+invocation: a small header followed by one line per warp-level dynamic
+instruction.
+
+Format::
+
+    # kernel <name> invocation <id>
+    # grid <num_ctas> block <cta_size> warps <n>
+    <warp_id> <mnemonic> <active_mask_hex> <address_hex> <dest> <src,src,...>
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.gpu.isa import WarpInstruction, opclass_for_mnemonic
+from repro.utils.validation import require
+
+
+@dataclass(frozen=True)
+class KernelTrace:
+    """An instruction trace of one kernel invocation."""
+
+    kernel_name: str
+    invocation_id: int
+    num_ctas: int
+    cta_size: int
+    warps: tuple[tuple[WarpInstruction, ...], ...]  # per warp, in order
+
+    def __post_init__(self) -> None:
+        require(self.num_ctas >= 1, "trace needs >= 1 CTA")
+        require(self.cta_size >= 1, "trace needs >= 1 thread per CTA")
+        require(len(self.warps) >= 1, "trace needs >= 1 warp")
+
+    @property
+    def num_warps(self) -> int:
+        return len(self.warps)
+
+    @property
+    def num_instructions(self) -> int:
+        """Warp-level dynamic instruction count."""
+        return sum(len(w) for w in self.warps)
+
+    @property
+    def thread_instructions(self) -> int:
+        """Thread-level dynamic instruction count (sums active lanes)."""
+        return sum(i.active_lanes for w in self.warps for i in w)
+
+
+def render_trace(trace: KernelTrace) -> str:
+    """Serialize a trace to its plain-text form."""
+    lines = [
+        f"# kernel {trace.kernel_name} invocation {trace.invocation_id}",
+        f"# grid {trace.num_ctas} block {trace.cta_size} warps {trace.num_warps}",
+    ]
+    for warp_id, instructions in enumerate(trace.warps):
+        for insn in instructions:
+            srcs = ",".join(str(s) for s in insn.srcs) if insn.srcs else "-"
+            lines.append(
+                f"{warp_id} {insn.mnemonic} {insn.active_mask:08x} "
+                f"{insn.address:x} {insn.dest} {srcs}"
+            )
+    return "\n".join(lines) + "\n"
+
+
+def parse_trace(text: str) -> KernelTrace:
+    """Parse a trace previously produced by :func:`render_trace`."""
+    lines = text.strip().splitlines()
+    require(len(lines) >= 3, "trace too short")
+    header1 = lines[0].split()
+    require(header1[:2] == ["#", "kernel"], "bad trace header")
+    kernel_name = header1[2]
+    invocation_id = int(header1[4])
+    header2 = lines[1].split()
+    require(header2[:2] == ["#", "grid"], "bad trace header")
+    num_ctas = int(header2[2])
+    cta_size = int(header2[4])
+    num_warps = int(header2[6])
+
+    warps: list[list[WarpInstruction]] = [[] for _ in range(num_warps)]
+    for line in lines[2:]:
+        fields = line.split()
+        warp_id = int(fields[0])
+        srcs = () if fields[5] == "-" else tuple(int(s) for s in fields[5].split(","))
+        warps[warp_id].append(
+            WarpInstruction(
+                opclass=opclass_for_mnemonic(fields[1]),
+                active_mask=int(fields[2], 16),
+                address=int(fields[3], 16),
+                dest=int(fields[4]),
+                srcs=srcs,
+            )
+        )
+    return KernelTrace(
+        kernel_name=kernel_name,
+        invocation_id=invocation_id,
+        num_ctas=num_ctas,
+        cta_size=cta_size,
+        warps=tuple(tuple(w) for w in warps),
+    )

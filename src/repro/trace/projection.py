@@ -1,0 +1,82 @@
+"""PKP-style intra-invocation projection (extension).
+
+Principal Kernel Projection (Baddouh et al.) stops simulating a kernel
+invocation once its IPC has converged to a steady state. The paper
+discards PKP from its comparison but notes it "can be applied to both
+techniques with similar benefits" — so we provide it as an optional
+extension on top of the trace simulator: simulate warp batches
+incrementally and stop early once the running IPC stabilizes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.trace.encoding import KernelTrace
+from repro.trace.simulator import SimulatorConfig, TraceSimulator
+from repro.utils.validation import require
+
+
+@dataclass(frozen=True)
+class ProjectionResult:
+    """Early-exit simulation outcome."""
+
+    kernel_name: str
+    invocation_id: int
+    converged: bool
+    projected_ipc: float
+    simulated_warp_fraction: float
+    checkpoints: tuple[float, ...]  # running IPC after each batch
+
+
+def simulate_with_projection(
+    trace: KernelTrace,
+    config: SimulatorConfig | None = None,
+    batch_warps: int = 8,
+    tolerance: float = 0.05,
+    min_batches: int = 2,
+) -> ProjectionResult:
+    """Simulate ``trace`` in warp batches, stopping on IPC convergence.
+
+    After each batch the running IPC is compared with the previous
+    checkpoint; once the relative change drops below ``tolerance`` (and at
+    least ``min_batches`` ran), the remaining warps are skipped and the
+    converged IPC is projected onto the full invocation.
+    """
+    require(batch_warps >= 1, "batch must contain at least one warp")
+    require(0 < tolerance < 1, "tolerance must be in (0, 1)")
+    simulator = TraceSimulator(config)
+
+    checkpoints: list[float] = []
+    for upto in range(batch_warps, trace.num_warps + batch_warps, batch_warps):
+        partial = KernelTrace(
+            kernel_name=trace.kernel_name,
+            invocation_id=trace.invocation_id,
+            num_ctas=trace.num_ctas,
+            cta_size=trace.cta_size,
+            warps=trace.warps[: min(upto, trace.num_warps)],
+        )
+        result = simulator.simulate(partial)
+        checkpoints.append(result.ipc)
+        if len(checkpoints) >= max(min_batches, 2):
+            previous, current = checkpoints[-2], checkpoints[-1]
+            if previous > 0 and abs(current - previous) / previous < tolerance:
+                return ProjectionResult(
+                    kernel_name=trace.kernel_name,
+                    invocation_id=trace.invocation_id,
+                    converged=True,
+                    projected_ipc=current,
+                    simulated_warp_fraction=min(upto, trace.num_warps)
+                    / trace.num_warps,
+                    checkpoints=tuple(checkpoints),
+                )
+        if upto >= trace.num_warps:
+            break
+    return ProjectionResult(
+        kernel_name=trace.kernel_name,
+        invocation_id=trace.invocation_id,
+        converged=False,
+        projected_ipc=checkpoints[-1] if checkpoints else 0.0,
+        simulated_warp_fraction=1.0,
+        checkpoints=tuple(checkpoints),
+    )

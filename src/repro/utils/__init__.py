@@ -1,0 +1,18 @@
+"""Shared utilities: deterministic seeding, statistics, validation."""
+
+from repro.utils.seeding import derive_seed, rng_for
+from repro.utils.stats import (
+    coefficient_of_variation,
+    weighted_arithmetic_mean,
+    weighted_harmonic_mean,
+)
+from repro.utils.validation import require
+
+__all__ = [
+    "derive_seed",
+    "rng_for",
+    "coefficient_of_variation",
+    "weighted_arithmetic_mean",
+    "weighted_harmonic_mean",
+    "require",
+]

@@ -1,0 +1,41 @@
+"""Deterministic seed derivation from string labels.
+
+Every stochastic element in the reproduction (workload generation, hardware
+measurement noise, k-means initialization, random selection policies) draws
+its randomness from a :class:`numpy.random.Generator` seeded through this
+module. Seeds are derived from human-readable labels (workload names, kernel
+names, experiment tags) via a stable cryptographic hash, so results are
+bit-identical across runs, machines and Python versions.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+#: Global salt mixed into every derived seed. Bump to re-roll the entire
+#: synthetic universe while keeping the code unchanged.
+UNIVERSE_SALT = "sieve-ispass-2023"
+
+
+def derive_seed(*labels: object) -> int:
+    """Derive a 63-bit seed from a sequence of labels.
+
+    Labels are converted to ``str`` and joined with an unambiguous
+    separator, so ``derive_seed("a", "bc")`` and ``derive_seed("ab", "c")``
+    differ.
+
+    >>> derive_seed("lmc") == derive_seed("lmc")
+    True
+    >>> derive_seed("lmc") != derive_seed("lmr")
+    True
+    """
+    joined = "\x1f".join([UNIVERSE_SALT, *[str(label) for label in labels]])
+    digest = hashlib.sha256(joined.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") >> 1
+
+
+def rng_for(*labels: object) -> np.random.Generator:
+    """Return a deterministic :class:`numpy.random.Generator` for labels."""
+    return np.random.default_rng(derive_seed(*labels))

@@ -1,0 +1,70 @@
+"""Statistical helpers used across the sampling pipelines.
+
+The paper relies on three simple statistics:
+
+* the *coefficient of variation* (CoV), used to tier kernels and to
+  quantify within-cluster cycle dispersion (Figures 2 and 4);
+* the *weighted harmonic mean*, used by Sieve to aggregate per-stratum IPC
+  into application IPC (Section III-D);
+* the *weighted arithmetic mean*, the CPI-domain equivalent the paper notes
+  in the same section.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.validation import require
+
+
+def coefficient_of_variation(values: np.ndarray) -> float:
+    """Return the coefficient of variation ``sigma / mu`` of ``values``.
+
+    The paper defines CoV as the (population) standard deviation divided by
+    the mean instruction count. A single-element or empty array has zero
+    dispersion by definition. A zero mean with non-zero dispersion is
+    degenerate and raises.
+    """
+    values = np.asarray(values, dtype=np.float64)
+    if values.size <= 1:
+        return 0.0
+    mean = float(values.mean())
+    std = float(values.std())
+    if mean == 0.0:
+        if std == 0.0:
+            return 0.0
+        raise ValueError("CoV undefined: zero mean with non-zero dispersion")
+    return std / abs(mean)
+
+
+def weighted_harmonic_mean(values: np.ndarray, weights: np.ndarray) -> float:
+    """Return ``1 / sum(w_i / x_i)`` with weights normalized to one.
+
+    This is the application-IPC aggregation from Section III-D:
+    ``IPC = 1 / sum_i(w_i / IPC_i)`` with instruction-count weights.
+    """
+    values = np.asarray(values, dtype=np.float64)
+    weights = _normalized_weights(weights, values.shape)
+    require(bool(np.all(values > 0)), "harmonic mean requires positive values")
+    return float(1.0 / np.sum(weights / values))
+
+
+def weighted_arithmetic_mean(values: np.ndarray, weights: np.ndarray) -> float:
+    """Return ``sum(w_i * x_i)`` with weights normalized to one.
+
+    The CPI-domain dual of :func:`weighted_harmonic_mean`: the weighted
+    harmonic mean of IPC equals the reciprocal of the weighted arithmetic
+    mean of CPI under the same weights.
+    """
+    values = np.asarray(values, dtype=np.float64)
+    weights = _normalized_weights(weights, values.shape)
+    return float(np.sum(weights * values))
+
+
+def _normalized_weights(weights: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
+    weights = np.asarray(weights, dtype=np.float64)
+    require(weights.shape == shape, "values and weights must have equal shape")
+    require(bool(np.all(weights >= 0)), "weights must be non-negative")
+    total = float(weights.sum())
+    require(total > 0, "weights must not all be zero")
+    return weights / total

@@ -1,0 +1,9 @@
+"""Small validation helpers shared by all subsystems."""
+
+from __future__ import annotations
+
+
+def require(condition: bool, message: str) -> None:
+    """Raise :class:`ValueError` with ``message`` unless ``condition``."""
+    if not condition:
+        raise ValueError(message)

@@ -1,0 +1,36 @@
+"""Workload substrate.
+
+The paper profiles real executions of 40 workloads (Table I). This package
+generates synthetic equivalents: for each workload, a deterministic
+statistical model produces the same number of kernels and invocations with
+per-kernel instruction-count structure calibrated to the paper's observed
+tier behaviour (Figure 2), cross-kernel characteristic aliasing (what
+confuses PKS clustering) and chronological drift (what biases
+first-chronological representative selection).
+"""
+
+from repro.workloads.catalog import (
+    CHALLENGING_SUITES,
+    SIMPLE_SUITES,
+    all_specs,
+    spec_for,
+    specs_for_suites,
+    workload_names,
+)
+from repro.workloads.generator import GeneratedKernel, WorkloadRun, generate
+from repro.workloads.spec import KernelBehavior, Tier, WorkloadSpec
+
+__all__ = [
+    "Tier",
+    "KernelBehavior",
+    "WorkloadSpec",
+    "GeneratedKernel",
+    "WorkloadRun",
+    "generate",
+    "all_specs",
+    "spec_for",
+    "specs_for_suites",
+    "workload_names",
+    "SIMPLE_SUITES",
+    "CHALLENGING_SUITES",
+]

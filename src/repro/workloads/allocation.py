@@ -1,0 +1,57 @@
+"""Integer allocation helpers for the workload generator."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.validation import require
+
+
+def largest_remainder(weights: np.ndarray, total: int, minimum: int = 1) -> np.ndarray:
+    """Allocate ``total`` integer units proportionally to ``weights``.
+
+    Every entry receives at least ``minimum`` units; the remainder is
+    distributed by the largest-remainder (Hamilton) method, which keeps the
+    allocation within one unit of exact proportionality.
+    """
+    weights = np.asarray(weights, dtype=np.float64)
+    n = len(weights)
+    require(n >= 1, "need at least one weight")
+    require(bool(np.all(weights >= 0)), "weights must be non-negative")
+    require(weights.sum() > 0, "weights must not all be zero")
+    require(total >= minimum * n, "total too small for the per-entry minimum")
+
+    distributable = total - minimum * n
+    shares = weights / weights.sum() * distributable
+    counts = np.floor(shares).astype(np.int64)
+    remainder = distributable - int(counts.sum())
+    if remainder > 0:
+        fractional = shares - counts
+        # Stable tie-break on index keeps the allocation deterministic.
+        order = np.lexsort((np.arange(n), -fractional))
+        counts[order[:remainder]] += 1
+    return counts + minimum
+
+
+def assign_tiers(
+    invocation_counts: np.ndarray,
+    tier_fractions: tuple[float, float, float],
+    order: np.ndarray,
+) -> np.ndarray:
+    """Assign each kernel a tier so invocation-weighted tier mass matches.
+
+    Kernels are visited in ``order`` (a permutation, typically random) and
+    greedily assigned to the tier with the largest remaining invocation
+    quota, so the realized invocation-weighted tier fractions track
+    ``tier_fractions`` as closely as the granularity of per-kernel counts
+    allows. Returns an array of tier indices (0, 1, 2).
+    """
+    invocation_counts = np.asarray(invocation_counts, dtype=np.int64)
+    total = int(invocation_counts.sum())
+    remaining = np.array([f * total for f in tier_fractions], dtype=np.float64)
+    tiers = np.empty(len(invocation_counts), dtype=np.int64)
+    for kernel_index in order:
+        tier = int(np.argmax(remaining))
+        tiers[kernel_index] = tier
+        remaining[tier] -= invocation_counts[kernel_index]
+    return tiers

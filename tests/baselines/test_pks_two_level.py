@@ -1,0 +1,71 @@
+"""Tests for PKS on two-level profiles."""
+
+import pytest
+
+from repro.baselines.pks import PksPipeline
+from repro.baselines.pks_two_level import TwoLevelPksPipeline
+from repro.profiling.nsight import NsightComputeProfiler
+from repro.profiling.two_level import TwoLevelProfiler
+
+
+@pytest.fixture(scope="module")
+def two_level_profile(toy_run):
+    return TwoLevelProfiler(detailed_budget=400).profile(toy_run)
+
+
+@pytest.fixture(scope="module")
+def two_level_selection(two_level_profile, toy_measurement):
+    return TwoLevelPksPipeline().select(two_level_profile, toy_measurement)
+
+
+def test_weights_cover_the_whole_workload(two_level_selection, toy_run):
+    assert two_level_selection.num_invocations == toy_run.num_invocations
+    total = sum(r.group_size for r in two_level_selection.representatives)
+    assert total == toy_run.num_invocations
+    assert sum(r.weight for r in two_level_selection.representatives) == (
+        pytest.approx(1.0)
+    )
+
+
+def test_representatives_come_from_detailed_batch(
+    two_level_selection, two_level_profile
+):
+    for rep in two_level_selection.representatives:
+        assert rep.row < len(two_level_profile.detailed)
+
+
+def test_total_instructions_include_light_batch(
+    two_level_selection, two_level_profile
+):
+    expected = int(
+        two_level_profile.detailed.insn_count.sum()
+        + two_level_profile.light.insn_count.sum()
+    )
+    assert two_level_selection.total_instructions == expected
+
+
+def test_prediction_runs_and_is_bounded(two_level_selection, toy_measurement):
+    prediction = TwoLevelPksPipeline().predict(two_level_selection, toy_measurement)
+    assert prediction.predicted_cycles > 0
+    assert prediction.error_against(toy_measurement.total_cycles) < 2.0
+
+
+def test_method_label(two_level_selection):
+    assert two_level_selection.method == "pks-two-level"
+
+
+def test_comparable_to_full_pks(toy_run, toy_measurement):
+    """Extrapolating from a prefix can't be better-informed than full
+    profiling, but it must stay in a sane error range on the toy
+    workload."""
+    full_table, _ = NsightComputeProfiler().profile(toy_run)
+    full = PksPipeline().select(full_table, toy_measurement)
+    full_error = PksPipeline().predict(full, toy_measurement).error_against(
+        toy_measurement.total_cycles
+    )
+    profile = TwoLevelProfiler(detailed_budget=400).profile(toy_run)
+    two_level = TwoLevelPksPipeline().select(profile, toy_measurement)
+    two_level_error = TwoLevelPksPipeline().predict(
+        two_level, toy_measurement
+    ).error_against(toy_measurement.total_cycles)
+    assert two_level_error < max(4 * full_error, 0.5)

@@ -1,0 +1,54 @@
+"""Shared fixtures: small, fast workloads reused across the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.evaluation.context import WorkloadContext, build_context
+from repro.gpu import AMPERE_RTX3080, HardwareExecutor
+from repro.workloads.generator import WorkloadRun, generate
+from repro.workloads.spec import KernelBehavior, WorkloadSpec
+
+
+def make_spec(**overrides) -> WorkloadSpec:
+    """A compact challenging-style spec; override any field per test."""
+    defaults = dict(
+        name="toy",
+        suite="testsuite",
+        num_kernels=8,
+        num_invocations=1200,
+        tier_fractions=(0.4, 0.4, 0.2),
+        behavior=KernelBehavior(
+            tier2_cov=0.3, tier3_modes=4, tier3_spread=20.0, tier3_mode_cov=0.1
+        ),
+        insn_scale=4.0e8,
+        alias_groups=3,
+        heterogeneity=0.3,
+        drift_fraction=0.2,
+        drift_factor=0.3,
+        chrono_size_correlation=0.8,
+        metric_direction_sigma=0.5,
+    )
+    defaults.update(overrides)
+    return WorkloadSpec(**defaults)
+
+
+@pytest.fixture(scope="session")
+def toy_spec() -> WorkloadSpec:
+    return make_spec()
+
+
+@pytest.fixture(scope="session")
+def toy_run(toy_spec) -> WorkloadRun:
+    return generate(toy_spec)
+
+
+@pytest.fixture(scope="session")
+def toy_measurement(toy_run):
+    return HardwareExecutor(AMPERE_RTX3080).measure(toy_run)
+
+
+@pytest.fixture(scope="session")
+def small_context() -> WorkloadContext:
+    """A capped catalog workload exercised through the full context path."""
+    return build_context("cactus/gru", max_invocations=1500)

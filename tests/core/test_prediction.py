@@ -1,0 +1,67 @@
+"""Tests for performance prediction."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.prediction import (
+    PredictionResult,
+    predict_cycles,
+    predict_cycles_from_cpi,
+    predict_ipc,
+)
+
+
+def test_prediction_exact_when_ipc_uniform():
+    """If every stratum runs at the same IPC, the prediction is exact."""
+    ipc = np.array([1500.0, 1500.0, 1500.0])
+    weights = np.array([0.2, 0.3, 0.5])
+    predicted = predict_cycles(3_000_000, predict_ipc(ipc, weights))
+    assert predicted == pytest.approx(3_000_000 / 1500.0)
+
+
+def test_prediction_matches_hand_computation():
+    # Two strata: 60% of instructions at IPC 2000, 40% at IPC 500.
+    ipc = np.array([2000.0, 500.0])
+    weights = np.array([0.6, 0.4])
+    predicted_ipc = predict_ipc(ipc, weights)
+    assert predicted_ipc == pytest.approx(1.0 / (0.6 / 2000 + 0.4 / 500))
+
+
+@given(
+    ipc=st.lists(st.floats(min_value=1.0, max_value=1e4), min_size=1, max_size=16),
+    raw_weights=st.lists(
+        st.floats(min_value=0.01, max_value=10.0), min_size=1, max_size=16
+    ),
+    total=st.integers(min_value=1_000, max_value=10**12),
+)
+def test_ipc_and_cpi_formulations_agree(ipc, raw_weights, total):
+    """Section III-D: the weighted harmonic IPC prediction equals the
+    weighted arithmetic CPI prediction."""
+    size = min(len(ipc), len(raw_weights))
+    ipc_arr = np.array(ipc[:size])
+    weights = np.array(raw_weights[:size])
+    via_ipc = predict_cycles(total, predict_ipc(ipc_arr, weights))
+    via_cpi = predict_cycles_from_cpi(total, 1.0 / ipc_arr, weights)
+    assert via_ipc == pytest.approx(via_cpi, rel=1e-9)
+
+
+def test_error_metric_matches_paper_definition():
+    result = PredictionResult(
+        workload="w", method="sieve", predicted_cycles=110.0,
+        predicted_ipc=1.0, num_representatives=3,
+    )
+    assert result.error_against(100) == pytest.approx(0.10)
+    under = PredictionResult(
+        workload="w", method="sieve", predicted_cycles=90.0,
+        predicted_ipc=1.0, num_representatives=3,
+    )
+    assert under.error_against(100) == pytest.approx(0.10)
+
+
+def test_invalid_inputs_rejected():
+    with pytest.raises(ValueError):
+        predict_cycles(0, 10.0)
+    with pytest.raises(ValueError):
+        predict_cycles(100, 0.0)

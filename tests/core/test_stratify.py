@@ -1,0 +1,70 @@
+"""Tests for profile-table stratification."""
+
+import numpy as np
+
+from repro.core.config import SieveConfig
+from repro.core.stratify import stratify_table
+from repro.profiling.nvbit import NVBitProfiler
+from repro.utils.stats import coefficient_of_variation
+from repro.workloads.spec import Tier
+
+
+def strata_for(run, theta=0.4):
+    table, _ = NVBitProfiler().profile(run)
+    return table, stratify_table(table, SieveConfig(theta=theta))
+
+
+def test_every_stratum_is_single_kernel(toy_run):
+    table, strata = strata_for(toy_run)
+    for stratum in strata:
+        kernel_ids = np.unique(table.kernel_id[stratum.rows])
+        assert len(kernel_ids) == 1
+        assert kernel_ids[0] == stratum.kernel_id
+
+
+def test_strata_partition_the_table(toy_run):
+    table, strata = strata_for(toy_run)
+    rows = np.sort(np.concatenate([s.rows for s in strata]))
+    assert np.array_equal(rows, np.arange(len(table)))
+
+
+def test_tier12_kernels_form_one_stratum(toy_run):
+    table, strata = strata_for(toy_run)
+    per_kernel = {}
+    for stratum in strata:
+        per_kernel.setdefault(stratum.kernel_id, []).append(stratum)
+    for kernel_id, kernel_strata in per_kernel.items():
+        if kernel_strata[0].tier in (Tier.TIER1, Tier.TIER2):
+            assert len(kernel_strata) == 1
+
+
+def test_tier3_strata_meet_cov_bound(toy_run):
+    table, strata = strata_for(toy_run)
+    saw_tier3_split = False
+    for stratum in strata:
+        if stratum.tier is Tier.TIER3:
+            saw_tier3_split = True
+            if stratum.size > 1:
+                cov = coefficient_of_variation(table.insn_count[stratum.rows])
+                assert cov <= 0.4 + 1e-9
+    assert saw_tier3_split
+
+
+def test_stratum_rows_are_chronological(toy_run):
+    table, strata = strata_for(toy_run)
+    for stratum in strata:
+        assert np.all(np.diff(stratum.rows) > 0)
+
+
+def test_stratum_bookkeeping(toy_run):
+    table, strata = strata_for(toy_run)
+    for stratum in strata:
+        assert stratum.insn_total == int(table.insn_count[stratum.rows].sum())
+        assert stratum.size == len(stratum.rows)
+        assert stratum.label.startswith(stratum.kernel_name)
+
+
+def test_smaller_theta_never_reduces_strata(toy_run):
+    _, loose = strata_for(toy_run, theta=1.0)
+    _, tight = strata_for(toy_run, theta=0.15)
+    assert len(tight) >= len(loose)

@@ -1,0 +1,52 @@
+"""Tests for tier classification."""
+
+import numpy as np
+import pytest
+
+from repro.core.tiers import classify_invocations
+from repro.workloads.spec import Tier
+
+
+def test_constant_counts_are_tier1():
+    result = classify_invocations(np.array([500, 500, 500]), theta=0.4)
+    assert result.tier is Tier.TIER1
+    assert result.cov == 0.0
+
+
+def test_single_invocation_is_tier1():
+    assert classify_invocations(np.array([123]), theta=0.4).tier is Tier.TIER1
+
+
+def test_small_variation_is_tier2():
+    values = np.array([100, 101, 99, 100, 102])
+    result = classify_invocations(values, theta=0.4)
+    assert result.tier is Tier.TIER2
+    assert 0 < result.cov <= 0.4
+
+
+def test_large_variation_is_tier3():
+    values = np.array([10, 1000, 10, 1000])
+    result = classify_invocations(values, theta=0.4)
+    assert result.tier is Tier.TIER3
+    assert result.cov > 0.4
+
+
+def test_threshold_boundary_is_inclusive_for_tier2():
+    # mean 2, std 1 -> CoV 0.5 exactly.
+    values = np.array([1.0, 3.0])
+    assert classify_invocations(values, theta=0.5).tier is Tier.TIER2
+    assert classify_invocations(values, theta=0.499).tier is Tier.TIER3
+
+
+def test_theta_must_be_positive():
+    with pytest.raises(ValueError):
+        classify_invocations(np.array([1, 2]), theta=0.0)
+
+
+def test_empty_population_rejected():
+    with pytest.raises(ValueError):
+        classify_invocations(np.array([]), theta=0.4)
+
+
+def test_num_invocations_reported():
+    assert classify_invocations(np.array([5, 5, 5, 5]), 0.4).num_invocations == 4

@@ -1,0 +1,68 @@
+"""Tests for the shared sampling output types."""
+
+import pytest
+
+from repro.core.types import Representative, SampleSelection
+
+
+def rep(**overrides):
+    defaults = dict(
+        kernel_name="k", kernel_id=0, invocation_id=0, row=0,
+        weight=1.0, group="g", group_size=10,
+    )
+    defaults.update(overrides)
+    return Representative(**defaults)
+
+
+def test_negative_weight_rejected():
+    with pytest.raises(ValueError):
+        rep(weight=-0.1)
+
+
+def test_empty_group_rejected():
+    with pytest.raises(ValueError):
+        rep(group_size=0)
+
+
+def test_selection_requires_representatives():
+    with pytest.raises(ValueError):
+        SampleSelection(
+            workload="w", method="m", representatives=(),
+            total_instructions=100, num_invocations=10,
+        )
+
+
+def test_selection_cannot_exceed_population():
+    with pytest.raises(ValueError):
+        SampleSelection(
+            workload="w", method="m",
+            representatives=(rep(), rep(invocation_id=1)),
+            total_instructions=100, num_invocations=1,
+        )
+
+
+def test_measured_lookups(toy_run, toy_measurement):
+    kernel = toy_run.kernels[0]
+    representative = rep(kernel_name=kernel.traits.name, invocation_id=2)
+    assert representative.measured_cycles(toy_measurement) == int(
+        toy_measurement.per_kernel[kernel.traits.name].cycles[2]
+    )
+    assert representative.measured_insn(toy_measurement) == int(
+        kernel.batch.insn_count[2]
+    )
+
+
+def test_unknown_kernel_lookup_raises(toy_measurement):
+    with pytest.raises(KeyError):
+        rep(kernel_name="ghost").measured_cycles(toy_measurement)
+
+
+def test_duplicate_kernel_names_rejected_by_executor(toy_run):
+    from repro.gpu import AMPERE_RTX3080, HardwareExecutor
+
+    class DoubledWorkload:
+        name = "doubled"
+        kernels = [toy_run.kernels[0], toy_run.kernels[0]]
+
+    with pytest.raises(ValueError, match="duplicate kernel"):
+        HardwareExecutor(AMPERE_RTX3080).measure(DoubledWorkload())

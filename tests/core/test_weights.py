@@ -1,0 +1,31 @@
+"""Tests for stratum weighting."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import SieveConfig
+from repro.core.stratify import stratify_table
+from repro.core.weights import stratum_weights
+from repro.profiling.nvbit import NVBitProfiler
+
+
+def test_weights_sum_to_one(toy_run):
+    table, _ = NVBitProfiler().profile(toy_run)
+    strata = stratify_table(table, SieveConfig())
+    weights = stratum_weights(strata)
+    assert weights.sum() == pytest.approx(1.0)
+    assert np.all(weights >= 0)
+
+
+def test_weights_proportional_to_instruction_mass(toy_run):
+    table, _ = NVBitProfiler().profile(toy_run)
+    strata = stratify_table(table, SieveConfig())
+    weights = stratum_weights(strata)
+    total = table.total_instructions
+    for stratum, weight in zip(strata, weights):
+        assert weight == pytest.approx(stratum.insn_total / total)
+
+
+def test_empty_strata_rejected():
+    with pytest.raises(ValueError):
+        stratum_weights([])

@@ -1,0 +1,30 @@
+"""Tests for within-cluster cycle dispersion (Figure 4 metric)."""
+
+import numpy as np
+import pytest
+
+from repro.evaluation.dispersion import weighted_cycle_cov
+
+
+def test_single_tight_group():
+    cycles = np.array([100.0, 100.0, 100.0])
+    assert weighted_cycle_cov([np.arange(3)], cycles) == 0.0
+
+
+def test_weighting_by_group_size():
+    cycles = np.array([1.0, 3.0, 5.0, 5.0, 5.0, 5.0])
+    groups = [np.array([0, 1]), np.array([2, 3, 4, 5])]
+    # group 0: mean 2, std 1 -> CoV 0.5 (2 members); group 1: CoV 0 (4).
+    expected = (0.5 * 2 + 0.0 * 4) / 6
+    assert weighted_cycle_cov(groups, cycles) == pytest.approx(expected)
+
+
+def test_empty_groups_skipped():
+    cycles = np.array([2.0, 2.0])
+    value = weighted_cycle_cov([np.array([], dtype=int), np.arange(2)], cycles)
+    assert value == 0.0
+
+
+def test_all_empty_rejected():
+    with pytest.raises(ValueError):
+        weighted_cycle_cov([np.array([], dtype=int)], np.array([1.0]))

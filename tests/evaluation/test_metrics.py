@@ -1,0 +1,40 @@
+"""Tests for evaluation metrics."""
+
+import pytest
+
+from repro.evaluation.metrics import (
+    harmonic_mean,
+    prediction_error,
+    relative_speedup_error,
+)
+
+
+def test_prediction_error_symmetric_in_magnitude():
+    assert prediction_error(110, 100) == pytest.approx(0.1)
+    assert prediction_error(90, 100) == pytest.approx(0.1)
+
+
+def test_prediction_error_zero_when_exact():
+    assert prediction_error(12345, 12345) == 0.0
+
+
+def test_relative_speedup_error():
+    assert relative_speedup_error(1.1, 1.0) == pytest.approx(0.1)
+
+
+def test_harmonic_mean_known_value():
+    assert harmonic_mean([1.0, 4.0, 4.0]) == pytest.approx(3 / 1.5)
+
+
+def test_harmonic_mean_dominated_by_small_values():
+    assert harmonic_mean([10.0, 10_000.0]) < 20.0
+
+
+def test_harmonic_mean_rejects_nonpositive():
+    with pytest.raises(ValueError):
+        harmonic_mean([1.0, 0.0])
+
+
+def test_prediction_error_rejects_zero_reference():
+    with pytest.raises(ValueError):
+        prediction_error(1.0, 0.0)

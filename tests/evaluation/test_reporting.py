@@ -1,0 +1,24 @@
+"""Tests for text-table reporting."""
+
+from repro.evaluation.reporting import format_table, percent, times
+
+
+def test_format_table_alignment():
+    text = format_table(["name", "value"], [("a", 1), ("longer", 22)])
+    lines = text.splitlines()
+    assert lines[0].startswith("name")
+    assert set(lines[1]) <= {"-", " "}
+    assert len(lines) == 4
+    # Columns align: 'value' entries start at the same offset.
+    assert lines[2].index("1") == lines[3].index("2")
+
+
+def test_float_formatting():
+    text = format_table(["x"], [(0.123456,), (123456.0,), (0.000123,)])
+    assert "0.12" in text
+    assert "1.23e+05" in text
+
+
+def test_percent_and_times():
+    assert percent(0.1234) == "12.34%"
+    assert times(1272.4) == "1,272x"

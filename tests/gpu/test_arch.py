@@ -1,0 +1,58 @@
+"""Tests for GPU architecture configurations."""
+
+import dataclasses
+
+import pytest
+
+from repro.gpu.arch import (
+    AMPERE_RTX3080,
+    TURING_RTX2080TI,
+    WARP_SIZE,
+    GpuArchitecture,
+    architecture_by_name,
+)
+
+
+def test_paper_baseline_matches_section_iv():
+    assert AMPERE_RTX3080.num_sms == 68
+    assert AMPERE_RTX3080.memory_gb == 10.0
+    assert AMPERE_RTX3080.dram_bandwidth_gbs == 760.0
+    assert AMPERE_RTX3080.family == "ampere"
+
+
+def test_paper_turing_matches_section_iv():
+    assert TURING_RTX2080TI.num_sms == 68
+    assert TURING_RTX2080TI.memory_gb == 11.0
+    assert TURING_RTX2080TI.dram_bandwidth_gbs == 616.0
+    assert TURING_RTX2080TI.family == "turing"
+
+
+def test_ampere_doubles_fp32_datapath_over_turing():
+    assert AMPERE_RTX3080.fp32_lanes_per_sm == 2 * TURING_RTX2080TI.fp32_lanes_per_sm
+    assert AMPERE_RTX3080.int32_lanes_per_sm == TURING_RTX2080TI.int32_lanes_per_sm
+
+
+def test_bytes_per_cycle():
+    assert AMPERE_RTX3080.bytes_per_cycle == pytest.approx(760.0 / 1.710)
+
+
+def test_warp_throughput_in_warp_instructions():
+    assert AMPERE_RTX3080.warp_throughput(WARP_SIZE) == 1.0
+    assert AMPERE_RTX3080.warp_throughput(128) == 4.0
+
+
+def test_lookup_by_name():
+    assert architecture_by_name("rtx3080") is AMPERE_RTX3080
+    assert architecture_by_name("rtx2080ti") is TURING_RTX2080TI
+
+
+def test_lookup_unknown_name_lists_known():
+    with pytest.raises(KeyError, match="rtx3080"):
+        architecture_by_name("h100")
+
+
+def test_invalid_configuration_rejected():
+    with pytest.raises(ValueError):
+        dataclasses.replace(AMPERE_RTX3080, num_sms=0)
+    with pytest.raises(ValueError):
+        dataclasses.replace(AMPERE_RTX3080, dram_bandwidth_gbs=-1.0)

@@ -1,0 +1,45 @@
+"""Tests for the miniature SASS-like ISA."""
+
+import pytest
+
+from repro.gpu.isa import MNEMONICS, OpClass, WarpInstruction, opclass_for_mnemonic
+
+
+def test_every_opclass_has_unique_mnemonic():
+    assert len(MNEMONICS) == len(OpClass)
+    assert len(set(MNEMONICS.values())) == len(OpClass)
+
+
+def test_mnemonic_round_trip():
+    for op, mnemonic in MNEMONICS.items():
+        assert opclass_for_mnemonic(mnemonic) is op
+
+
+def test_memory_classification():
+    assert OpClass.LOAD_GLOBAL.is_memory
+    assert OpClass.STORE_SHARED.is_memory
+    assert OpClass.ATOMIC.is_memory
+    assert not OpClass.FP32.is_memory
+    assert not OpClass.BRANCH.is_memory
+
+
+def test_global_memory_classification():
+    assert OpClass.LOAD_GLOBAL.is_global_memory
+    assert not OpClass.LOAD_SHARED.is_global_memory
+
+
+def test_active_lanes_counts_mask_bits():
+    insn = WarpInstruction(opclass=OpClass.FP32, active_mask=0x0000_00FF)
+    assert insn.active_lanes == 8
+    full = WarpInstruction(opclass=OpClass.FP32)
+    assert full.active_lanes == 32
+
+
+def test_rejects_mask_wider_than_warp():
+    with pytest.raises(ValueError):
+        WarpInstruction(opclass=OpClass.FP32, active_mask=1 << 32)
+
+
+def test_rejects_negative_address():
+    with pytest.raises(ValueError):
+        WarpInstruction(opclass=OpClass.LOAD_GLOBAL, address=-4)

@@ -1,0 +1,64 @@
+"""Tests for the memory-hierarchy traffic model."""
+
+import numpy as np
+import pytest
+
+from repro.gpu.arch import AMPERE_RTX3080, SECTOR_BYTES
+from repro.gpu.kernel import KernelTraits
+from repro.gpu.memory import capacity_adjusted_l2_hit, memory_traffic
+from tests.gpu.test_kernel import make_batch
+
+
+def test_l1_filters_nominal_hit_rate():
+    traits = KernelTraits(name="k", l1_hit_rate=0.75, l2_hit_rate=0.0)
+    batch = make_batch(1)
+    traffic = memory_traffic(AMPERE_RTX3080, traits, batch)
+    sectors = float(batch.coalesced_global_loads[0] + batch.coalesced_global_stores[0])
+    assert traffic.l1_sector_accesses[0] == pytest.approx(sectors)
+    assert traffic.l2_sector_accesses[0] == pytest.approx(sectors * 0.25)
+
+
+def test_dram_bytes_zero_when_l2_always_hits_small_footprint():
+    traits = KernelTraits(name="k", l1_hit_rate=0.0, l2_hit_rate=1.0)
+    batch = make_batch(1)
+    traffic = memory_traffic(AMPERE_RTX3080, traits, batch)
+    # Footprint is far below L2 capacity so the nominal hit rate holds.
+    assert traffic.dram_bytes[0] == pytest.approx(0.0)
+
+
+def test_capacity_pressure_degrades_l2_hit_rate():
+    traits = KernelTraits(name="k", l2_hit_rate=0.8)
+    in_cache = capacity_adjusted_l2_hit(
+        AMPERE_RTX3080, traits, np.array([1024.0])
+    )
+    four_x = capacity_adjusted_l2_hit(
+        AMPERE_RTX3080, traits, np.array([4.0 * AMPERE_RTX3080.l2_size_bytes])
+    )
+    assert in_cache[0] == pytest.approx(0.8)
+    assert four_x[0] == pytest.approx(0.2)
+
+
+def test_capacity_adjustment_is_monotone_in_footprint():
+    traits = KernelTraits(name="k", l2_hit_rate=0.6)
+    footprints = np.logspace(3, 10, 16)
+    hits = capacity_adjusted_l2_hit(AMPERE_RTX3080, traits, footprints)
+    assert np.all(np.diff(hits) <= 1e-12)
+
+
+def test_atomics_counted_separately():
+    traits = KernelTraits(name="k")
+    batch = make_batch(1, thread_global_atomics=np.array([777], dtype=np.int64))
+    traffic = memory_traffic(AMPERE_RTX3080, traits, batch)
+    assert traffic.atomic_ops[0] == 777
+
+
+def test_dram_bytes_are_sector_granular():
+    traits = KernelTraits(name="k", l1_hit_rate=0.0, l2_hit_rate=0.0)
+    batch = make_batch(1, coalesced_local_loads=np.array([10], dtype=np.int64))
+    traffic = memory_traffic(AMPERE_RTX3080, traits, batch)
+    sectors = float(
+        batch.coalesced_global_loads[0]
+        + batch.coalesced_global_stores[0]
+        + batch.coalesced_local_loads[0]
+    )
+    assert traffic.dram_bytes[0] == pytest.approx(sectors * SECTOR_BYTES)

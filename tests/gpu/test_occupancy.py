@@ -1,0 +1,78 @@
+"""Tests for the occupancy calculator."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.gpu.arch import AMPERE_RTX3080, TURING_RTX2080TI
+from repro.gpu.kernel import KernelTraits
+from repro.gpu.occupancy import occupancy_for, occupancy_table
+
+
+def traits(**overrides):
+    defaults = dict(name="k", regs_per_thread=32, smem_per_cta=0)
+    defaults.update(overrides)
+    return KernelTraits(**defaults)
+
+
+def test_thread_limited_occupancy():
+    # 256-thread CTAs on Ampere (1536 threads/SM): 6 CTAs by threads.
+    result = occupancy_for(AMPERE_RTX3080, traits(), 256)
+    assert result.ctas_per_sm == 6
+    assert result.active_warps_per_sm == 48
+    assert result.limiter in ("threads", "warps")
+
+
+def test_register_limited_occupancy():
+    # 64 regs/thread x 256 threads = 16384 regs/CTA -> 4 CTAs in a 64K file.
+    result = occupancy_for(AMPERE_RTX3080, traits(regs_per_thread=64), 256)
+    assert result.ctas_per_sm == 4
+    assert result.limiter == "registers"
+
+
+def test_shared_memory_limited_occupancy():
+    result = occupancy_for(AMPERE_RTX3080, traits(smem_per_cta=48 * 1024), 128)
+    assert result.ctas_per_sm == 2
+    assert result.limiter == "shared_memory"
+
+
+def test_cta_slot_limited_for_tiny_blocks():
+    result = occupancy_for(AMPERE_RTX3080, traits(), 32)
+    assert result.ctas_per_sm == AMPERE_RTX3080.max_ctas_per_sm
+    assert result.limiter == "ctas"
+
+
+def test_turing_holds_fewer_threads_than_ampere():
+    ampere = occupancy_for(AMPERE_RTX3080, traits(), 512)
+    turing = occupancy_for(TURING_RTX2080TI, traits(), 512)
+    assert turing.ctas_per_sm < ampere.ctas_per_sm
+
+
+def test_unlaunchable_kernel_raises():
+    # 1024 threads x 64 regs = 65536 fits exactly; 1024 x 80 would not,
+    # but traits cap at launchable configs — so force it via shared memory.
+    big_smem = traits(smem_per_cta=AMPERE_RTX3080.shared_memory_per_sm + 1)
+    with pytest.raises(ValueError, match="cannot launch"):
+        occupancy_for(AMPERE_RTX3080, big_smem, 256)
+
+
+def test_occupancy_table_matches_scalar_path():
+    sizes = np.array([64, 256, 64, 1024], dtype=np.int32)
+    ctas, warps = occupancy_table(AMPERE_RTX3080, traits(), sizes)
+    for i, size in enumerate(sizes):
+        scalar = occupancy_for(AMPERE_RTX3080, traits(), int(size))
+        assert ctas[i] == scalar.ctas_per_sm
+        assert warps[i] == scalar.active_warps_per_sm
+
+
+@given(cta_size=st.integers(min_value=1, max_value=1024),
+       regs=st.sampled_from([32, 40, 48, 56, 64]))
+def test_occupancy_respects_hardware_limits(cta_size, regs):
+    arch = AMPERE_RTX3080
+    result = occupancy_for(arch, traits(regs_per_thread=regs), cta_size)
+    assert result.ctas_per_sm >= 1
+    assert result.active_warps_per_sm <= arch.max_warps_per_sm
+    warps_per_cta = -(-cta_size // 32)
+    assert result.ctas_per_sm * warps_per_cta * 32 <= arch.max_threads_per_sm + 31 * warps_per_cta
+    assert result.ctas_per_sm * warps_per_cta * 32 * regs <= arch.registers_per_sm + 0

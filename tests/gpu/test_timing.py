@@ -1,0 +1,137 @@
+"""Tests for the interval timing model."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.gpu.arch import AMPERE_RTX3080, TURING_RTX2080TI
+from repro.gpu.kernel import KernelTraits
+from repro.gpu.timing import invocation_timing
+from tests.gpu.test_kernel import make_batch
+
+
+def traits(**overrides):
+    defaults = dict(name="k", measurement_noise_cov=0.0)
+    defaults.update(overrides)
+    return KernelTraits(**defaults)
+
+
+def big_batch(scale: float = 1.0, n: int = 1):
+    """A comfortably multi-wave invocation (1e9 x scale instructions)."""
+    insn = int(1e9 * scale)
+    return make_batch(
+        n,
+        insn_count=np.full(n, insn, dtype=np.int64),
+        num_ctas=np.full(n, max(int(2000 * scale), 1), dtype=np.int64),
+        thread_global_loads=np.full(n, int(insn * 0.05), dtype=np.int64),
+        thread_global_stores=np.full(n, int(insn * 0.02), dtype=np.int64),
+        coalesced_global_loads=np.full(n, int(insn * 0.05 / 32), dtype=np.int64),
+        coalesced_global_stores=np.full(n, int(insn * 0.02 / 32), dtype=np.int64),
+        thread_shared_loads=np.zeros(n, dtype=np.int64),
+        thread_shared_stores=np.zeros(n, dtype=np.int64),
+    )
+
+
+def test_more_instructions_take_more_cycles():
+    small = invocation_timing(AMPERE_RTX3080, traits(), big_batch(0.5))
+    large = invocation_timing(AMPERE_RTX3080, traits(), big_batch(2.0))
+    assert large.total_cycles[0] > small.total_cycles[0]
+
+
+def test_cycles_scale_roughly_linearly_in_steady_state():
+    one = invocation_timing(AMPERE_RTX3080, traits(), big_batch(1.0)).total_cycles[0]
+    four = invocation_timing(AMPERE_RTX3080, traits(), big_batch(4.0)).total_cycles[0]
+    assert four / one == pytest.approx(4.0, rel=0.15)
+
+
+def test_ipc_is_size_stable_for_large_grids():
+    """The premise Sieve relies on: same kernel + similar work => similar
+    IPC, once grids span several waves."""
+    a = big_batch(1.0)
+    b = big_batch(3.0)
+    ta = invocation_timing(AMPERE_RTX3080, traits(), a)
+    tb = invocation_timing(AMPERE_RTX3080, traits(), b)
+    ipc_a = a.insn_count[0] / ta.total_cycles[0]
+    ipc_b = b.insn_count[0] / tb.total_cycles[0]
+    assert ipc_a == pytest.approx(ipc_b, rel=0.1)
+
+
+def test_small_grids_achieve_lower_ipc():
+    big = big_batch(1.0)
+    tiny = make_batch(
+        1,
+        insn_count=np.array([int(1e7)], dtype=np.int64),
+        num_ctas=np.array([4], dtype=np.int64),
+    )
+    ipc_big = big.insn_count[0] / invocation_timing(
+        AMPERE_RTX3080, traits(), big
+    ).total_cycles[0]
+    ipc_tiny = tiny.insn_count[0] / invocation_timing(
+        AMPERE_RTX3080, traits(), tiny
+    ).total_cycles[0]
+    assert ipc_tiny < ipc_big * 0.5
+
+
+def test_memory_bound_kernel_limited_by_bandwidth():
+    heavy = traits(l1_hit_rate=0.0, l2_hit_rate=0.0)
+    batch = big_batch(1.0)
+    # Poorly coalesced streaming: 8 transactions per warp-level access.
+    batch.coalesced_global_loads[:] = batch.thread_global_loads // 4
+    timing = invocation_timing(AMPERE_RTX3080, heavy, batch)
+    assert timing.memory_cycles[0] > timing.compute_cycles[0]
+    # More DRAM bandwidth (Ampere over Turing) must shrink the memory
+    # interval in cycle terms.
+    turing = invocation_timing(TURING_RTX2080TI, heavy, batch)
+    assert timing.memory_cycles[0] < turing.memory_cycles[0] * (
+        TURING_RTX2080TI.bytes_per_cycle / AMPERE_RTX3080.bytes_per_cycle
+    ) * 1.05
+
+
+def test_personality_scales_cycles():
+    base = invocation_timing(AMPERE_RTX3080, traits(), big_batch())
+    slow = invocation_timing(
+        AMPERE_RTX3080, traits(personality=2.0), big_batch()
+    )
+    assert slow.total_cycles[0] == pytest.approx(
+        base.total_cycles[0] * 2.0, rel=0.05
+    )
+
+
+def test_arch_efficiency_multiplier_applies_per_family():
+    turing_biased = traits(arch_efficiency={"turing": 0.5})
+    batch = big_batch()
+    on_ampere_base = invocation_timing(AMPERE_RTX3080, traits(), batch)
+    on_ampere_biased = invocation_timing(AMPERE_RTX3080, turing_biased, batch)
+    on_turing_base = invocation_timing(TURING_RTX2080TI, traits(), batch)
+    on_turing_biased = invocation_timing(TURING_RTX2080TI, turing_biased, batch)
+    assert on_ampere_biased.total_cycles[0] == pytest.approx(
+        on_ampere_base.total_cycles[0]
+    )
+    assert on_turing_biased.total_cycles[0] == pytest.approx(
+        on_turing_base.total_cycles[0] * 0.5, rel=0.05
+    )
+
+
+def test_fp_heavy_kernels_gain_more_from_ampere():
+    """Ampere's doubled FP32 datapath should favour FP-heavy kernels."""
+    batch = big_batch()
+    fp_heavy = traits(fp_ratio=0.85, sfu_ratio=0.0, l1_hit_rate=0.9, l2_hit_rate=0.9)
+    int_heavy = traits(fp_ratio=0.05, sfu_ratio=0.0, l1_hit_rate=0.9, l2_hit_rate=0.9)
+
+    def cycles(arch, t):
+        return invocation_timing(arch, t, batch).total_cycles[0]
+
+    fp_gain = cycles(TURING_RTX2080TI, fp_heavy) / cycles(AMPERE_RTX3080, fp_heavy)
+    int_gain = cycles(TURING_RTX2080TI, int_heavy) / cycles(AMPERE_RTX3080, int_heavy)
+    assert fp_gain > int_gain
+
+
+def test_divergence_inflates_cycles():
+    divergent = big_batch()
+    divergent.divergence_efficiency[:] = 0.5
+    converged = big_batch()
+    converged.divergence_efficiency[:] = 1.0
+    t_div = invocation_timing(AMPERE_RTX3080, traits(), divergent)
+    t_conv = invocation_timing(AMPERE_RTX3080, traits(), converged)
+    assert t_div.total_cycles[0] > t_conv.total_cycles[0]

@@ -1,0 +1,95 @@
+"""Property-based tests for the interval timing model."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gpu.arch import AMPERE_RTX3080, TURING_RTX2080TI
+from repro.gpu.kernel import InvocationBatch, KernelTraits
+from repro.gpu.timing import invocation_timing
+
+
+@st.composite
+def kernel_traits(draw):
+    fp = draw(st.floats(min_value=0.1, max_value=0.85))
+    return KernelTraits(
+        name="prop",
+        regs_per_thread=draw(st.sampled_from([32, 48, 64])),
+        smem_per_cta=draw(st.sampled_from([0, 16 * 1024, 48 * 1024])),
+        ilp=draw(st.floats(min_value=1.0, max_value=4.0)),
+        l1_hit_rate=draw(st.floats(min_value=0.0, max_value=1.0)),
+        l2_hit_rate=draw(st.floats(min_value=0.0, max_value=1.0)),
+        fp_ratio=fp,
+        sfu_ratio=draw(st.floats(min_value=0.0, max_value=min(0.1, 1 - fp))),
+        personality=draw(st.floats(min_value=0.3, max_value=3.0)),
+        measurement_noise_cov=0.0,
+    )
+
+
+@st.composite
+def batches(draw):
+    insn = draw(st.integers(min_value=100_000, max_value=10**10))
+    cta = draw(st.sampled_from([64, 128, 256, 512, 1024]))
+    ctas = draw(st.integers(min_value=1, max_value=100_000))
+    load_rate = draw(st.floats(min_value=0.0, max_value=0.15))
+    n = 1
+    loads = int(insn * load_rate)
+    return InvocationBatch(
+        insn_count=np.array([insn], dtype=np.int64),
+        cta_size=np.array([cta], dtype=np.int32),
+        num_ctas=np.array([ctas], dtype=np.int64),
+        coalesced_global_loads=np.array([loads // 32], dtype=np.int64),
+        coalesced_global_stores=np.array([loads // 64], dtype=np.int64),
+        coalesced_local_loads=np.zeros(n, dtype=np.int64),
+        thread_global_loads=np.array([loads], dtype=np.int64),
+        thread_global_stores=np.array([loads // 2], dtype=np.int64),
+        thread_local_loads=np.zeros(n, dtype=np.int64),
+        thread_shared_loads=np.zeros(n, dtype=np.int64),
+        thread_shared_stores=np.zeros(n, dtype=np.int64),
+        thread_global_atomics=np.zeros(n, dtype=np.int64),
+        divergence_efficiency=np.array(
+            [draw(st.floats(min_value=0.5, max_value=1.0))]
+        ),
+        chrono_index=np.zeros(n, dtype=np.int64),
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(traits=kernel_traits(), batch=batches())
+def test_cycles_are_finite_positive_and_above_overhead(traits, batch):
+    for arch in (AMPERE_RTX3080, TURING_RTX2080TI):
+        timing = invocation_timing(arch, traits, batch)
+        assert np.all(np.isfinite(timing.total_cycles))
+        assert timing.total_cycles[0] > 0
+        # Launch overhead is a hard floor.
+        assert timing.total_cycles[0] >= arch.kernel_launch_overhead_cycles
+
+
+@settings(max_examples=40, deadline=None)
+@given(traits=kernel_traits(), batch=batches())
+def test_doubling_work_never_speeds_execution(traits, batch):
+    import dataclasses
+
+    doubled = dataclasses.replace(
+        batch,
+        insn_count=batch.insn_count * 2,
+        thread_global_loads=batch.thread_global_loads * 2,
+        thread_global_stores=batch.thread_global_stores * 2,
+        coalesced_global_loads=batch.coalesced_global_loads * 2,
+        coalesced_global_stores=batch.coalesced_global_stores * 2,
+    )
+    base = invocation_timing(AMPERE_RTX3080, traits, batch)
+    more = invocation_timing(AMPERE_RTX3080, traits, doubled)
+    assert more.total_cycles[0] >= base.total_cycles[0]
+
+
+@settings(max_examples=40, deadline=None)
+@given(traits=kernel_traits(), batch=batches())
+def test_better_cache_behaviour_never_hurts(traits, batch):
+    import dataclasses
+
+    worse = dataclasses.replace(traits, l1_hit_rate=0.0, l2_hit_rate=0.0)
+    better = dataclasses.replace(traits, l1_hit_rate=1.0, l2_hit_rate=1.0)
+    slow = invocation_timing(AMPERE_RTX3080, worse, batch)
+    fast = invocation_timing(AMPERE_RTX3080, better, batch)
+    assert fast.total_cycles[0] <= slow.total_cycles[0] * (1 + 1e-9)

@@ -1,0 +1,65 @@
+"""Tests for the profiling cost model."""
+
+import numpy as np
+import pytest
+
+from repro.profiling.cost import (
+    NSIGHT_METRICS_PER_PASS,
+    ProfilingCostModel,
+)
+
+
+@pytest.fixture
+def model():
+    return ProfilingCostModel()
+
+
+def seconds(n=100, each=0.001):
+    return np.full(n, each)
+
+
+def footprints(n=100, each=1e6):
+    return np.full(n, each)
+
+
+def test_nsight_pass_count_scales_with_metrics(model):
+    few = model.nsight_cost("w", seconds(), footprints(), num_metrics=3)
+    many = model.nsight_cost("w", seconds(), footprints(), num_metrics=12)
+    assert many.replay_passes > few.replay_passes
+    assert few.replay_passes == -(-3 // NSIGHT_METRICS_PER_PASS)
+
+
+def test_complexity_multiplies_passes(model):
+    base = model.nsight_cost("w", seconds(), footprints(), 12, complexity=1.0)
+    rich = model.nsight_cost("w", seconds(), footprints(), 12, complexity=3.0)
+    assert rich.replay_passes == pytest.approx(base.replay_passes * 3, abs=1)
+    assert rich.total_seconds > base.total_seconds
+
+
+def test_nsight_bookkeeping_grows_superlinearly(model):
+    small = model.nsight_cost("w", seconds(1000), footprints(1000), 12)
+    large = model.nsight_cost("w", seconds(100_000), footprints(100_000), 12)
+    per_invocation_small = small.bookkeeping_seconds / 1000
+    per_invocation_large = large.bookkeeping_seconds / 100_000
+    assert per_invocation_large > per_invocation_small
+
+
+def test_nvbit_is_single_pass_linear(model):
+    cost = model.nvbit_cost("w", seconds(500))
+    assert cost.replay_passes == 1
+    assert cost.save_restore_seconds == 0.0
+    double = model.nvbit_cost("w", seconds(1000))
+    assert double.total_seconds == pytest.approx(cost.total_seconds * 2, rel=0.01)
+
+
+def test_save_restore_proportional_to_footprint(model):
+    small = model.nsight_cost("w", seconds(), footprints(each=1e6), 12)
+    big = model.nsight_cost("w", seconds(), footprints(each=1e8), 12)
+    assert big.save_restore_seconds == pytest.approx(
+        small.save_restore_seconds * 100, rel=0.01
+    )
+
+
+def test_total_days(model):
+    cost = model.nvbit_cost("w", np.full(1, 86_400.0 / 25.0))
+    assert cost.total_days == pytest.approx(1.0, rel=0.01)

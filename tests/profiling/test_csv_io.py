@@ -1,0 +1,49 @@
+"""Tests for CSV round-tripping of profile tables."""
+
+import numpy as np
+
+from repro.profiling.csv_io import read_profile_csv, write_profile_csv
+from repro.profiling.nsight import NsightComputeProfiler
+from repro.profiling.nvbit import NVBitProfiler
+
+
+def assert_tables_equal(a, b, with_metrics):
+    """Equality up to kernel renumbering (the reader numbers kernels by
+    first chronological appearance)."""
+    assert a.workload == b.workload
+    assert set(a.kernel_names) == set(b.kernel_names)
+    names_a = [a.kernel_name_of_row(r) for r in range(len(a))]
+    names_b = [b.kernel_name_of_row(r) for r in range(len(b))]
+    assert names_a == names_b
+    assert np.array_equal(a.invocation_id, b.invocation_id)
+    assert np.array_equal(a.insn_count, b.insn_count)
+    assert np.array_equal(a.cta_size, b.cta_size)
+    assert np.array_equal(a.num_ctas, b.num_ctas)
+    if with_metrics:
+        assert np.allclose(a.metrics, b.metrics)
+    else:
+        assert b.metrics is None
+
+
+def test_sieve_profile_round_trip(toy_run, tmp_path):
+    table, _ = NVBitProfiler().profile(toy_run)
+    path = tmp_path / "sieve.csv"
+    write_profile_csv(table, path)
+    assert_tables_equal(table, read_profile_csv(path), with_metrics=False)
+
+
+def test_pks_profile_round_trip(toy_run, tmp_path):
+    table, _ = NsightComputeProfiler().profile(toy_run)
+    path = tmp_path / "pks.csv"
+    write_profile_csv(table, path)
+    assert_tables_equal(table, read_profile_csv(path), with_metrics=True)
+
+
+def test_csv_is_human_readable(toy_run, tmp_path):
+    table, _ = NVBitProfiler().profile(toy_run)
+    path = tmp_path / "readable.csv"
+    write_profile_csv(table, path)
+    lines = path.read_text().splitlines()
+    assert lines[0].startswith("# workload")
+    assert lines[1].split(",")[:3] == ["kernel_name", "invocation_id", "insn_count"]
+    assert len(lines) == len(table) + 2

@@ -1,0 +1,21 @@
+"""Tests for the Table II metric definitions."""
+
+from repro.gpu.kernel import PKS_METRIC_NAMES
+from repro.profiling.metrics import PKS_METRICS, SIEVE_METRICS
+
+
+def test_pks_collects_twelve_characteristics():
+    assert len(PKS_METRICS) == 12
+    assert all(m.used_by_pks for m in PKS_METRICS)
+
+
+def test_sieve_collects_exactly_instruction_count():
+    assert [m.name for m in SIEVE_METRICS] == ["instruction_count"]
+
+
+def test_metric_names_align_with_batch_matrix_columns():
+    assert tuple(m.name for m in PKS_METRICS) == PKS_METRIC_NAMES
+
+
+def test_descriptions_present():
+    assert all(m.description for m in PKS_METRICS)

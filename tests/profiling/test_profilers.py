@@ -1,0 +1,58 @@
+"""Tests for the NVBit/Nsight profiler front-ends."""
+
+import numpy as np
+
+from repro.profiling.nsight import NsightComputeProfiler
+from repro.profiling.nvbit import NVBitProfiler
+
+
+def test_nvbit_profile_has_no_metric_matrix(toy_run):
+    table, _ = NVBitProfiler().profile(toy_run)
+    assert table.metrics is None
+
+
+def test_nsight_profile_has_full_matrix(toy_run):
+    table, _ = NsightComputeProfiler().profile(toy_run)
+    assert table.metrics is not None
+    assert table.metrics.shape == (toy_run.num_invocations, 12)
+
+
+def test_profiles_are_chronological(toy_run):
+    table, _ = NVBitProfiler().profile(toy_run)
+    # Reconstruct each row's global chronological position and check order.
+    positions = []
+    for row in range(len(table)):
+        kernel = toy_run.kernels[int(table.kernel_id[row])]
+        positions.append(int(kernel.batch.chrono_index[table.invocation_id[row]]))
+    assert positions == sorted(positions)
+    assert positions == list(range(toy_run.num_invocations))
+
+
+def test_profile_rows_match_run_contents(toy_run):
+    table, _ = NVBitProfiler().profile(toy_run)
+    for kernel_id, kernel in enumerate(toy_run.kernels):
+        rows = table.rows_for_kernel(kernel_id)
+        assert np.array_equal(
+            table.insn_count[rows][np.argsort(table.invocation_id[rows])],
+            kernel.batch.insn_count,
+        )
+
+
+def test_both_profilers_see_identical_instruction_counts(toy_run):
+    nvbit, _ = NVBitProfiler().profile(toy_run)
+    nsight, _ = NsightComputeProfiler().profile(toy_run)
+    assert np.array_equal(nvbit.insn_count, nsight.insn_count)
+    assert nvbit.kernel_names == nsight.kernel_names
+
+
+def test_nsight_costs_more_than_nvbit(toy_run):
+    _, nvbit_cost = NVBitProfiler().profile(toy_run)
+    _, nsight_cost = NsightComputeProfiler().profile(toy_run)
+    assert nsight_cost.total_seconds > nvbit_cost.total_seconds
+    assert nsight_cost.replay_passes > nvbit_cost.replay_passes
+
+
+def test_workload_label_propagates(toy_run):
+    table, cost = NVBitProfiler().profile(toy_run)
+    assert table.workload == toy_run.label
+    assert cost.workload == toy_run.label

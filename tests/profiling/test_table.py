@@ -1,0 +1,76 @@
+"""Tests for ProfileTable."""
+
+import numpy as np
+import pytest
+
+from repro.profiling.table import ProfileTable
+
+
+def make_table(with_metrics=True):
+    n = 6
+    metrics = np.arange(n * 12, dtype=np.float64).reshape(n, 12) if with_metrics else None
+    return ProfileTable(
+        workload="suite/x",
+        kernel_names=("a", "b"),
+        kernel_id=np.array([0, 1, 0, 1, 0, 0], dtype=np.int32),
+        invocation_id=np.array([0, 0, 1, 1, 2, 3], dtype=np.int64),
+        insn_count=np.array([10, 20, 10, 25, 12, 10], dtype=np.int64),
+        cta_size=np.full(6, 128, dtype=np.int32),
+        num_ctas=np.full(6, 64, dtype=np.int64),
+        metrics=metrics,
+    )
+
+
+def test_len_and_num_kernels():
+    table = make_table()
+    assert len(table) == 6
+    assert table.num_kernels == 2
+
+
+def test_total_instructions():
+    assert make_table().total_instructions == 87
+
+
+def test_rows_for_kernel():
+    table = make_table()
+    assert table.rows_for_kernel(0).tolist() == [0, 2, 4, 5]
+    assert table.rows_for_kernel(1).tolist() == [1, 3]
+
+
+def test_kernel_name_of_row():
+    table = make_table()
+    assert table.kernel_name_of_row(0) == "a"
+    assert table.kernel_name_of_row(3) == "b"
+
+
+def test_without_metrics_strips_matrix():
+    stripped = make_table().without_metrics()
+    assert stripped.metrics is None
+    assert stripped.total_instructions == 87
+
+
+def test_rejects_kernel_id_out_of_range():
+    with pytest.raises(ValueError):
+        ProfileTable(
+            workload="w",
+            kernel_names=("a",),
+            kernel_id=np.array([0, 1], dtype=np.int32),
+            invocation_id=np.zeros(2, dtype=np.int64),
+            insn_count=np.ones(2, dtype=np.int64),
+            cta_size=np.full(2, 64, dtype=np.int32),
+            num_ctas=np.ones(2, dtype=np.int64),
+        )
+
+
+def test_rejects_metric_shape_mismatch():
+    with pytest.raises(ValueError):
+        ProfileTable(
+            workload="w",
+            kernel_names=("a",),
+            kernel_id=np.zeros(2, dtype=np.int32),
+            invocation_id=np.zeros(2, dtype=np.int64),
+            insn_count=np.ones(2, dtype=np.int64),
+            cta_size=np.full(2, 64, dtype=np.int32),
+            num_ctas=np.ones(2, dtype=np.int64),
+            metrics=np.zeros((2, 3)),
+        )

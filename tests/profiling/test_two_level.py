@@ -1,0 +1,45 @@
+"""Tests for two-level profiling."""
+
+import pytest
+
+from repro.profiling.nsight import NsightComputeProfiler
+from repro.profiling.two_level import TwoLevelProfiler
+
+
+def test_batches_partition_the_workload(toy_run):
+    profile = TwoLevelProfiler(detailed_budget=200).profile(toy_run)
+    assert len(profile.detailed) == 200
+    assert len(profile.light) == toy_run.num_invocations - 200
+    assert profile.num_invocations == toy_run.num_invocations
+
+
+def test_detailed_batch_is_the_chronological_prefix(toy_run):
+    profile = TwoLevelProfiler(detailed_budget=150).profile(toy_run)
+    full, _ = NsightComputeProfiler().profile(toy_run)
+    assert (
+        [profile.detailed.kernel_name_of_row(r) for r in range(150)]
+        == [full.kernel_name_of_row(r) for r in range(150)]
+    )
+
+
+def test_light_batch_has_no_metrics(toy_run):
+    profile = TwoLevelProfiler(detailed_budget=100).profile(toy_run)
+    assert profile.detailed.metrics is not None
+    assert profile.light.metrics is None
+
+
+def test_two_level_is_cheaper_than_full_detail(toy_run):
+    two_level = TwoLevelProfiler(detailed_budget=100).profile(toy_run)
+    _, full_cost = NsightComputeProfiler().profile(toy_run)
+    assert two_level.total_seconds < full_cost.total_seconds
+
+
+def test_budget_larger_than_workload_clamps(toy_run):
+    profile = TwoLevelProfiler(detailed_budget=10**9).profile(toy_run)
+    assert len(profile.detailed) == toy_run.num_invocations
+    assert len(profile.light) == 0
+
+
+def test_invalid_budget_rejected():
+    with pytest.raises(ValueError):
+        TwoLevelProfiler(detailed_budget=0)

@@ -1,0 +1,40 @@
+"""Catalog-wide smoke: every Table I workload runs the full Sieve path.
+
+Parameterized over all 40 workloads at a small invocation cap, this
+catches per-workload generation/stratification edge cases (single-kernel
+workloads, tiny invocation counts, dominant-kernel structure, extreme
+spreads) that the targeted tests might miss.
+"""
+
+import pytest
+
+from repro import AMPERE_RTX3080, HardwareExecutor, NVBitProfiler, SievePipeline
+from repro.workloads.catalog import all_specs
+from repro.workloads.generator import generate
+
+CAP = 600
+
+
+@pytest.mark.parametrize(
+    "label", [spec.label for spec in all_specs()]
+)
+def test_workload_runs_the_sieve_pipeline(label):
+    from repro.workloads.catalog import spec_for
+
+    spec = spec_for(label)
+    run = generate(spec, max_invocations=CAP)
+    assert run.num_invocations == min(spec.num_invocations, CAP)
+
+    table, cost = NVBitProfiler().profile(run)
+    assert cost.total_seconds > 0
+
+    pipeline = SievePipeline()
+    selection = pipeline.select(table)
+    assert spec.num_kernels <= selection.num_representatives <= len(table)
+    assert sum(r.weight for r in selection.representatives) == pytest.approx(1.0)
+
+    golden = HardwareExecutor(AMPERE_RTX3080).measure(run)
+    prediction = pipeline.predict(selection, golden)
+    # Generous bound: at cap 600 even the nastiest workload must land
+    # within 20% (full-scale accuracy is asserted by the benches).
+    assert prediction.error_against(golden.total_cycles) < 0.20

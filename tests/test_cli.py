@@ -1,0 +1,34 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_parser_knows_all_experiments():
+    parser = build_parser()
+    for command in ["table1", "table2", "fig2", "fig3", "fig5", "fig7",
+                    "fig8", "fig9", "fig10", "sample"]:
+        args = parser.parse_args(
+            [command] if command != "sample" else [command, "cactus/gru"]
+        )
+        assert callable(args.handler)
+
+
+def test_sample_command_runs(capsys):
+    assert main(["--cap", "800", "sample", "cactus/gru"]) == 0
+    out = capsys.readouterr().out
+    assert "sieve" in out
+    assert "pks-first" in out
+    assert "800" in out
+
+
+def test_table2_command_runs(capsys):
+    assert main(["table2"]) == 0
+    out = capsys.readouterr().out
+    assert "instruction_count" in out
+
+
+def test_unknown_command_rejected():
+    with pytest.raises(SystemExit):
+        main(["not-a-command"])

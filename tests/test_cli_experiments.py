@@ -1,0 +1,42 @@
+"""CLI experiment handlers exercised end to end at tiny caps."""
+
+import pytest
+
+from repro.cli import main
+
+CAP = "800"
+
+
+@pytest.mark.parametrize("command,needle", [
+    ("fig2", "tier1@0.1"),
+    ("fig3", "sieve_err"),
+    ("fig7", "speedup"),
+    ("fig10", "hmean_speedup"),
+])
+def test_figure_commands_print_tables(capsys, command, needle):
+    assert main(["--cap", CAP, command]) == 0
+    out = capsys.readouterr().out
+    assert needle in out
+    assert "cactus/" in out or "theta" in out
+
+
+def test_table1_with_cap(capsys):
+    assert main(["--cap", CAP, "table1"]) == 0
+    out = capsys.readouterr().out
+    assert out.count("\n") >= 41  # header + 40 workloads
+
+
+def test_fig5_policies_table(capsys):
+    # Restrict cost: fig5 runs three PKS variants per workload, so the cap
+    # matters; the output must show all three policy columns.
+    assert main(["--cap", "600", "fig5"]) == 0
+    out = capsys.readouterr().out
+    for column in ("pks_first", "pks_random", "pks_centroid", "sieve"):
+        assert column in out
+
+
+def test_fig9_relative_table(capsys):
+    assert main(["--cap", CAP, "fig9"]) == 0
+    out = capsys.readouterr().out
+    assert "hardware" in out
+    assert "cactus/lmr" in out

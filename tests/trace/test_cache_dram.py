@@ -1,0 +1,77 @@
+"""Tests for the cache and DRAM models."""
+
+import pytest
+
+from repro.trace.cache import SetAssociativeCache
+from repro.trace.dram import DramModel
+
+
+class TestCache:
+    def test_cold_miss_then_hit(self):
+        cache = SetAssociativeCache(size_bytes=1024, line_bytes=32)
+        assert cache.access(0x100) is False
+        assert cache.access(0x100) is True
+        assert cache.stats.accesses == 2
+        assert cache.stats.hits == 1
+
+    def test_same_line_different_offsets_hit(self):
+        cache = SetAssociativeCache(size_bytes=1024, line_bytes=32)
+        cache.access(0x40)
+        assert cache.access(0x5F) is True  # same 32B line
+
+    def test_lru_eviction(self):
+        # Direct-mapped-ish: 2 ways, 2 sets of 32B lines.
+        cache = SetAssociativeCache(size_bytes=128, line_bytes=32, associativity=2)
+        conflicting = [0x0, 0x80, 0x100]  # all map to set 0
+        for address in conflicting:
+            cache.access(address)
+        assert cache.access(0x0) is False  # evicted (LRU)
+        assert cache.access(0x100) is True  # most recent survivor
+
+
+    def test_hit_rate(self):
+        cache = SetAssociativeCache(size_bytes=4096)
+        for _ in range(10):
+            cache.access(0x0)
+        assert cache.stats.hit_rate == pytest.approx(0.9)
+
+    def test_reset_stats(self):
+        cache = SetAssociativeCache(size_bytes=1024)
+        cache.access(0)
+        cache.reset_stats()
+        assert cache.stats.accesses == 0
+
+    def test_rejects_cache_smaller_than_line(self):
+        with pytest.raises(ValueError):
+            SetAssociativeCache(size_bytes=16, line_bytes=32)
+
+
+class TestDram:
+    def test_fixed_latency(self):
+        dram = DramModel(latency_cycles=300, cycles_per_request=2.0)
+        assert dram.request(100) == 400
+
+    def test_bandwidth_serialization(self):
+        dram = DramModel(latency_cycles=300, cycles_per_request=2.0)
+        first = dram.request(0)
+        second = dram.request(0)  # queued behind the first
+        assert first == 300
+        assert second == 302
+
+    def test_idle_channel_resets(self):
+        dram = DramModel(latency_cycles=100, cycles_per_request=4.0)
+        dram.request(0)
+        # Long idle gap: the channel is free again.
+        assert dram.request(1000) == 1100
+
+    def test_request_count(self):
+        dram = DramModel()
+        for cycle in range(5):
+            dram.request(cycle)
+        assert dram.requests == 5
+
+    def test_reset(self):
+        dram = DramModel()
+        dram.request(0)
+        dram.reset()
+        assert dram.requests == 0

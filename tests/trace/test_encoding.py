@@ -1,0 +1,71 @@
+"""Tests for the plain-text trace format."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gpu.isa import OpClass, WarpInstruction
+from repro.trace.encoding import KernelTrace, parse_trace, render_trace
+
+
+def simple_trace():
+    warp = (
+        WarpInstruction(OpClass.FP32, dest=1, srcs=(2, 3)),
+        WarpInstruction(OpClass.LOAD_GLOBAL, address=0x1000, dest=4, srcs=(1,)),
+        WarpInstruction(OpClass.EXIT),
+    )
+    return KernelTrace(
+        kernel_name="k0", invocation_id=7, num_ctas=16, cta_size=256,
+        warps=(warp, warp),
+    )
+
+
+def test_round_trip():
+    trace = simple_trace()
+    assert parse_trace(render_trace(trace)) == trace
+
+
+def test_render_header():
+    text = render_trace(simple_trace())
+    lines = text.splitlines()
+    assert lines[0] == "# kernel k0 invocation 7"
+    assert lines[1] == "# grid 16 block 256 warps 2"
+
+
+def test_instruction_counts():
+    trace = simple_trace()
+    assert trace.num_instructions == 6
+    assert trace.thread_instructions == 6 * 32
+
+
+def test_parse_rejects_garbage():
+    with pytest.raises(ValueError):
+        parse_trace("not a trace")
+
+
+instruction_strategy = st.builds(
+    WarpInstruction,
+    opclass=st.sampled_from(list(OpClass)),
+    active_mask=st.integers(min_value=1, max_value=0xFFFFFFFF),
+    address=st.integers(min_value=0, max_value=2**40),
+    dest=st.integers(min_value=-1, max_value=31),
+    srcs=st.lists(st.integers(0, 31), max_size=3).map(tuple),
+)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    warps=st.lists(
+        st.lists(instruction_strategy, min_size=1, max_size=16).map(tuple),
+        min_size=1,
+        max_size=4,
+    ).map(tuple),
+    num_ctas=st.integers(1, 1000),
+    cta_size=st.sampled_from([32, 64, 128, 256, 1024]),
+)
+def test_round_trip_property(warps, num_ctas, cta_size):
+    trace = KernelTrace(
+        kernel_name="prop", invocation_id=0, num_ctas=num_ctas,
+        cta_size=cta_size, warps=warps,
+    )
+    assert parse_trace(render_trace(trace)) == trace

@@ -1,0 +1,96 @@
+"""Tests for the selection-aware tracer."""
+
+import pytest
+
+from repro.core.pipeline import SievePipeline
+from repro.gpu.isa import OpClass
+from repro.profiling.nvbit import NVBitProfiler
+from repro.trace.encoding import parse_trace
+from repro.trace.tracer import SelectionTracer, TracerConfig
+
+
+@pytest.fixture(scope="module")
+def selection(toy_run):
+    table, _ = NVBitProfiler().profile(toy_run)
+    return SievePipeline().select(table)
+
+
+@pytest.fixture(scope="module")
+def tracer():
+    return SelectionTracer(TracerConfig(max_warps=8, max_warp_instructions=256))
+
+
+def test_traces_cover_exactly_the_selection(toy_run, selection, tracer):
+    traces = tracer.trace_selection(toy_run, selection)
+    assert len(traces) == selection.num_representatives
+    for trace, rep in zip(traces, selection.representatives):
+        assert trace.kernel_name == rep.kernel_name
+        assert trace.invocation_id == rep.invocation_id
+
+
+def test_trace_respects_warp_cap(toy_run, selection, tracer):
+    for trace in tracer.trace_selection(toy_run, selection)[:5]:
+        assert trace.num_warps <= 8
+        for warp in trace.warps:
+            assert len(warp) <= 257  # stream + EXIT
+
+
+def test_every_warp_ends_with_exit(toy_run, selection, tracer):
+    trace = tracer.trace_invocation(
+        toy_run, selection.representatives[0].kernel_name,
+        selection.representatives[0].invocation_id,
+    )
+    for warp in trace.warps:
+        assert warp[-1].opclass is OpClass.EXIT
+
+
+def test_mix_tracks_kernel_memory_intensity(toy_run, tracer):
+    kernel = max(toy_run.kernels, key=len)
+    trace = tracer.trace_invocation(toy_run, kernel.traits.name, 0)
+    ops = [insn.opclass for warp in trace.warps for insn in warp]
+    memory_share = sum(op.is_memory for op in ops) / len(ops)
+    batch = kernel.batch
+    expected = float(
+        batch.thread_global_loads[0]
+        + batch.thread_global_stores[0]
+        + batch.thread_shared_loads[0]
+        + batch.thread_shared_stores[0]
+        + batch.thread_local_loads[0]
+        + batch.thread_global_atomics[0]
+    ) / float(batch.insn_count[0])
+    assert memory_share == pytest.approx(expected, abs=0.1)
+
+
+def test_divergence_reflected_in_masks(toy_run, tracer):
+    kernel = toy_run.kernels[0]
+    trace = tracer.trace_invocation(toy_run, kernel.traits.name, 0)
+    lanes = trace.warps[0][0].active_lanes
+    expected = round(32 * float(kernel.batch.divergence_efficiency[0]))
+    assert lanes == max(1, expected)
+
+
+def test_invalid_invocation_rejected(toy_run, tracer):
+    name = toy_run.kernels[0].traits.name
+    with pytest.raises(ValueError):
+        tracer.trace_invocation(toy_run, name, 10**9)
+
+
+def test_write_selection_round_trips(toy_run, selection, tracer, tmp_path):
+    # Write a small subset to keep the test fast.
+    small = selection.representatives[:3]
+    import dataclasses
+
+    subset = dataclasses.replace(selection, representatives=small, strata=())
+    paths = tracer.write_selection(toy_run, subset, tmp_path)
+    assert len(paths) == 3
+    for path, rep in zip(paths, small):
+        parsed = parse_trace(path.read_text())
+        assert parsed.kernel_name == rep.kernel_name
+        assert parsed.invocation_id == rep.invocation_id
+
+
+def test_deterministic(toy_run, selection, tracer):
+    rep = selection.representatives[0]
+    a = tracer.trace_invocation(toy_run, rep.kernel_name, rep.invocation_id)
+    b = tracer.trace_invocation(toy_run, rep.kernel_name, rep.invocation_id)
+    assert a == b

@@ -1,0 +1,37 @@
+"""Tests for deterministic seed derivation."""
+
+import numpy as np
+
+from repro.utils.seeding import derive_seed, rng_for
+
+
+def test_same_labels_same_seed():
+    assert derive_seed("a", "b") == derive_seed("a", "b")
+
+
+def test_different_labels_different_seed():
+    assert derive_seed("lmc") != derive_seed("lmr")
+
+
+def test_label_concatenation_is_unambiguous():
+    assert derive_seed("ab", "c") != derive_seed("a", "bc")
+
+
+def test_non_string_labels_accepted():
+    assert derive_seed("kernel", 3) == derive_seed("kernel", "3")
+
+
+def test_seed_fits_in_63_bits():
+    assert 0 <= derive_seed("x") < 2**63
+
+
+def test_rng_for_reproducible_stream():
+    a = rng_for("stream").random(5)
+    b = rng_for("stream").random(5)
+    assert np.array_equal(a, b)
+
+
+def test_rng_for_distinct_streams():
+    a = rng_for("stream", 1).random(5)
+    b = rng_for("stream", 2).random(5)
+    assert not np.array_equal(a, b)

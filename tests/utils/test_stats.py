@@ -1,0 +1,103 @@
+"""Tests for the statistics helpers (CoV, weighted means)."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.utils.stats import (
+    coefficient_of_variation,
+    weighted_arithmetic_mean,
+    weighted_harmonic_mean,
+)
+
+
+class TestCoefficientOfVariation:
+    def test_constant_values_have_zero_cov(self):
+        assert coefficient_of_variation(np.array([7.0, 7.0, 7.0])) == 0.0
+
+    def test_single_value_has_zero_cov(self):
+        assert coefficient_of_variation(np.array([42.0])) == 0.0
+
+    def test_empty_has_zero_cov(self):
+        assert coefficient_of_variation(np.array([])) == 0.0
+
+    def test_known_value(self):
+        values = np.array([1.0, 3.0])  # mean 2, population std 1
+        assert coefficient_of_variation(values) == pytest.approx(0.5)
+
+    def test_zero_mean_with_dispersion_raises(self):
+        with pytest.raises(ValueError):
+            coefficient_of_variation(np.array([-1.0, 1.0]))
+
+    def test_scale_invariance(self):
+        values = np.array([2.0, 4.0, 9.0])
+        assert coefficient_of_variation(values) == pytest.approx(
+            coefficient_of_variation(values * 1000.0)
+        )
+
+
+class TestWeightedMeans:
+    def test_harmonic_mean_matches_paper_formula(self):
+        ipc = np.array([2.0, 4.0])
+        weights = np.array([0.5, 0.5])
+        # 1 / (0.5/2 + 0.5/4) = 1 / 0.375
+        assert weighted_harmonic_mean(ipc, weights) == pytest.approx(1 / 0.375)
+
+    def test_weights_are_normalized(self):
+        ipc = np.array([2.0, 4.0])
+        assert weighted_harmonic_mean(ipc, np.array([5.0, 5.0])) == pytest.approx(
+            weighted_harmonic_mean(ipc, np.array([0.5, 0.5]))
+        )
+
+    def test_arithmetic_mean_known_value(self):
+        assert weighted_arithmetic_mean(
+            np.array([1.0, 3.0]), np.array([0.25, 0.75])
+        ) == pytest.approx(2.5)
+
+    def test_degenerate_single_element(self):
+        assert weighted_harmonic_mean(np.array([3.0]), np.array([1.0])) == 3.0
+
+    def test_rejects_zero_weights(self):
+        with pytest.raises(ValueError):
+            weighted_harmonic_mean(np.array([1.0]), np.array([0.0]))
+
+    def test_rejects_negative_weights(self):
+        with pytest.raises(ValueError):
+            weighted_arithmetic_mean(np.array([1.0, 2.0]), np.array([1.0, -1.0]))
+
+    def test_rejects_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            weighted_harmonic_mean(np.array([1.0, 2.0]), np.array([1.0]))
+
+    def test_rejects_nonpositive_values_in_harmonic(self):
+        with pytest.raises(ValueError):
+            weighted_harmonic_mean(np.array([1.0, 0.0]), np.array([1.0, 1.0]))
+
+
+@given(
+    values=st.lists(st.floats(min_value=0.1, max_value=1e6), min_size=1, max_size=32),
+    raw_weights=st.lists(
+        st.floats(min_value=0.01, max_value=100.0), min_size=1, max_size=32
+    ),
+)
+def test_harmonic_ipc_equals_reciprocal_arithmetic_cpi(values, raw_weights):
+    """Section III-D duality: hmean(IPC) == 1 / amean(CPI) under the same
+    weights. This is the identity the paper relies on when switching
+    between IPC and CPI aggregation."""
+    size = min(len(values), len(raw_weights))
+    ipc = np.array(values[:size])
+    weights = np.array(raw_weights[:size])
+    harmonic = weighted_harmonic_mean(ipc, weights)
+    arithmetic_cpi = weighted_arithmetic_mean(1.0 / ipc, weights)
+    assert harmonic == pytest.approx(1.0 / arithmetic_cpi, rel=1e-9)
+
+
+@given(
+    values=st.lists(st.floats(min_value=1.0, max_value=1e9), min_size=2, max_size=64)
+)
+def test_cov_is_nonnegative_and_scale_invariant(values):
+    array = np.array(values)
+    cov = coefficient_of_variation(array)
+    assert cov >= 0.0
+    assert coefficient_of_variation(array * 3.0) == pytest.approx(cov, rel=1e-6)

@@ -1,0 +1,14 @@
+"""Tests for the require() helper."""
+
+import pytest
+
+from repro.utils.validation import require
+
+
+def test_require_passes_on_true():
+    require(True, "never raised")
+
+
+def test_require_raises_value_error_with_message():
+    with pytest.raises(ValueError, match="broken invariant"):
+        require(False, "broken invariant")

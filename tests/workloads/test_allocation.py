@@ -1,0 +1,74 @@
+"""Tests for integer allocation helpers."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.workloads.allocation import assign_tiers, largest_remainder
+
+
+class TestLargestRemainder:
+    def test_exact_total(self):
+        counts = largest_remainder(np.array([1.0, 2.0, 3.0]), 100)
+        assert counts.sum() == 100
+
+    def test_proportionality(self):
+        counts = largest_remainder(np.array([1.0, 3.0]), 400, minimum=0)
+        assert counts.tolist() == [100, 300]
+
+    def test_minimum_respected(self):
+        counts = largest_remainder(np.array([1e-9, 1.0]), 10, minimum=1)
+        assert counts.min() >= 1
+        assert counts.sum() == 10
+
+    def test_total_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            largest_remainder(np.array([1.0, 1.0, 1.0]), 2, minimum=1)
+
+    def test_zero_weights_rejected(self):
+        with pytest.raises(ValueError):
+            largest_remainder(np.zeros(3), 10)
+
+    def test_deterministic_tie_break(self):
+        weights = np.ones(7)
+        a = largest_remainder(weights, 10)
+        b = largest_remainder(weights, 10)
+        assert np.array_equal(a, b)
+
+    @given(
+        weights=st.lists(
+            st.floats(min_value=0.01, max_value=100.0), min_size=1, max_size=40
+        ),
+        extra=st.integers(min_value=0, max_value=10_000),
+    )
+    def test_always_exact_and_within_one_of_proportional(self, weights, extra):
+        weights = np.array(weights)
+        total = len(weights) + extra
+        counts = largest_remainder(weights, total, minimum=1)
+        assert counts.sum() == total
+        assert counts.min() >= 1
+        shares = weights / weights.sum() * (total - len(weights))
+        assert np.all(np.abs(counts - 1 - shares) <= 1.0 + 1e-9)
+
+
+class TestAssignTiers:
+    def test_all_one_tier(self):
+        counts = np.array([10, 20, 30])
+        tiers = assign_tiers(counts, (1.0, 0.0, 0.0), np.arange(3))
+        assert tiers.tolist() == [0, 0, 0]
+
+    def test_invocation_mass_tracks_fractions(self):
+        rng = np.random.default_rng(0)
+        counts = rng.integers(50, 500, size=40)
+        tiers = assign_tiers(counts, (0.5, 0.3, 0.2), rng.permutation(40))
+        total = counts.sum()
+        for tier, target in enumerate((0.5, 0.3, 0.2)):
+            mass = counts[tiers == tier].sum() / total
+            assert abs(mass - target) < 0.15
+
+    def test_every_kernel_assigned(self):
+        counts = np.array([5, 5, 5, 5])
+        tiers = assign_tiers(counts, (0.4, 0.4, 0.2), np.array([3, 1, 0, 2]))
+        assert set(tiers.tolist()) <= {0, 1, 2}
+        assert len(tiers) == 4

@@ -1,0 +1,49 @@
+"""Property-based tests for the workload generator."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gpu import AMPERE_RTX3080, HardwareExecutor
+from repro.workloads.generator import generate
+from tests.conftest import make_spec
+
+
+@settings(max_examples=12, deadline=None)
+@given(
+    kernels=st.integers(min_value=1, max_value=12),
+    invocations=st.integers(min_value=12, max_value=600),
+    tier1=st.floats(min_value=0.0, max_value=1.0),
+    tier3=st.floats(min_value=0.0, max_value=1.0),
+    skew=st.floats(min_value=0.0, max_value=2.0),
+    correlation=st.floats(min_value=0.0, max_value=1.0),
+    seed_name=st.integers(min_value=0, max_value=5),
+)
+def test_generate_always_yields_a_measurable_workload(
+    kernels, invocations, tier1, tier3, skew, correlation, seed_name
+):
+    """For any sane spec, generation succeeds, counts are exact, the
+    chronology is a permutation, and the hardware model can execute every
+    invocation."""
+    remaining = 1.0 - tier1
+    t3 = tier3 * remaining
+    t2 = remaining - t3
+    spec = make_spec(
+        name=f"prop{seed_name}",
+        num_kernels=kernels,
+        num_invocations=max(invocations, kernels),
+        tier_fractions=(tier1, t2, t3),
+        invocation_skew=skew,
+        chrono_size_correlation=correlation,
+        alias_groups=min(3, kernels),
+    )
+    run = generate(spec)
+    assert run.num_invocations == spec.num_invocations
+    assert len(run.kernels) == kernels
+
+    chrono = np.concatenate([k.batch.chrono_index for k in run.kernels])
+    assert sorted(chrono.tolist()) == list(range(spec.num_invocations))
+
+    measurement = HardwareExecutor(AMPERE_RTX3080).measure(run)
+    assert measurement.total_cycles > 0
+    assert measurement.total_instructions == run.total_instructions
