@@ -22,12 +22,14 @@ from dataclasses import dataclass
 
 import numpy as np
 
+import repro.robustness.diagnostics as diagnostics
 from repro.baselines.kmeans import BisectingKMeans
 from repro.baselines.pca import PCA
 from repro.core.prediction import PredictionResult
 from repro.core.types import Representative, SampleSelection
 from repro.gpu.hardware import WorkloadMeasurement
 from repro.profiling.table import ProfileTable
+from repro.utils.errors import PredictionError, SelectionError
 from repro.utils.seeding import rng_for
 from repro.utils.validation import require
 
@@ -125,14 +127,25 @@ class PksPipeline:
 
         ``golden`` is the real-hardware reference PKS needs to choose k.
         """
-        require(table.metrics is not None, "PKS needs the 12-metric profile")
-        require(len(table) > 0, "profile table is empty")
+        require(
+            table.metrics is not None,
+            "PKS needs the 12-metric profile",
+            SelectionError,
+        )
+        require(len(table) > 0, "profile table is empty", SelectionError)
 
-        projected = PCA(self.config.variance_target).fit(table.metrics).transform(
-            table.metrics
+        metrics = _sanitized_metrics(table)
+        projected = PCA(self.config.variance_target).fit(metrics).transform(
+            metrics
         )
         cycles_by_row = cycles_in_table_order(table, golden)
         measured_total = float(cycles_by_row.sum())
+        require(
+            measured_total > 0 and np.isfinite(measured_total),
+            f"golden reference for {table.workload!r} measures no cycles; "
+            "PKS cannot choose k without it",
+            SelectionError,
+        )
 
         best: tuple[float, int, list[int], list[np.ndarray]] | None = None
         max_k = min(self.config.max_k, len(table))
@@ -181,12 +194,40 @@ class PksPipeline:
     def predict(
         self, selection: PksSelection, measurement: WorkloadMeasurement
     ) -> PredictionResult:
-        """Invocation-count-weighted sum of representative cycle counts."""
-        predicted = float(
-            sum(
-                r.group_size * r.measured_cycles(measurement)
-                for r in selection.representatives
-            )
+        """Invocation-count-weighted sum of representative cycle counts.
+
+        Representatives whose measurement is missing or degenerate (zero
+        cycles, dropped invocation, absent kernel) get the kernel-mean
+        cycle count imputed — each with a diagnostic — so one corrupted
+        counter degrades the prediction instead of zeroing or crashing it.
+        """
+        predicted = 0.0
+        usable = 0
+        for r in selection.representatives:
+            cycles = _measured_cycles_or_none(r, measurement)
+            if cycles is None:
+                cycles = _kernel_mean_cycles(r.kernel_name, measurement)
+                if cycles is None:
+                    diagnostics.emit(
+                        "pks.predict",
+                        f"representative {r.group} (kernel "
+                        f"{r.kernel_name!r}) has no measurements at all; "
+                        "its cluster contributes nothing",
+                    )
+                    continue
+                diagnostics.emit(
+                    "pks.predict",
+                    f"representative {r.group} (kernel {r.kernel_name!r}, "
+                    f"invocation {r.invocation_id}) has no usable "
+                    f"measurement; imputed kernel-mean cycles {cycles:.4g}",
+                )
+            predicted += r.group_size * cycles
+            usable += 1
+        require(
+            usable > 0 and predicted > 0,
+            f"workload {selection.workload!r}: no representative has a "
+            "usable measurement to predict from",
+            PredictionError,
         )
         return PredictionResult(
             workload=selection.workload,
@@ -197,13 +238,95 @@ class PksPipeline:
         )
 
 
+def _sanitized_metrics(table: ProfileTable) -> np.ndarray:
+    """The metric matrix with non-finite cells imputed by column mean.
+
+    NaN/inf counters would poison PCA's SVD (``LinAlgError``) and every
+    k-means distance after it. Impute with the finite column mean (0.0 for
+    all-bad columns) and emit one diagnostic; the lossless alternative is
+    :func:`repro.robustness.validate.repair_table` before selection.
+    """
+    metrics = table.metrics
+    bad = ~np.isfinite(metrics)
+    if not bad.any():
+        return metrics
+    metrics = metrics.copy()
+    for col in np.flatnonzero(bad.any(axis=0)):
+        clean = metrics[~bad[:, col], col]
+        metrics[bad[:, col], col] = float(clean.mean()) if len(clean) else 0.0
+    diagnostics.emit(
+        "pks.select",
+        f"workload {table.workload!r}: imputed {int(bad.sum())} non-finite "
+        "metric cells with column means before PCA",
+    )
+    return metrics
+
+
+def _measured_cycles_or_none(
+    rep: Representative, measurement: WorkloadMeasurement
+) -> float | None:
+    """The representative's measured cycles, or ``None`` if unusable."""
+    try:
+        cycles = rep.measured_cycles(measurement)
+    except (KeyError, IndexError):
+        return None
+    return float(cycles) if cycles > 0 else None
+
+
+def _kernel_mean_cycles(
+    kernel_name: str, measurement: WorkloadMeasurement
+) -> float | None:
+    """Mean cycles over a kernel's cleanly measured invocations, if any."""
+    kernel = measurement.per_kernel.get(kernel_name)
+    if kernel is None:
+        return None
+    clean = kernel.cycles[kernel.cycles > 0]
+    return float(clean.mean()) if len(clean) else None
+
+
 def cycles_in_table_order(
     table: ProfileTable, measurement: WorkloadMeasurement
 ) -> np.ndarray:
-    """Golden per-invocation cycle counts aligned with the table's rows."""
-    cycles = np.empty(len(table), dtype=np.float64)
+    """Golden per-invocation cycle counts aligned with the table's rows.
+
+    Rows whose measurement is missing (absent kernel, out-of-range
+    invocation id) or zero are imputed with the kernel-mean cycle count
+    (workload mean as a last resort), with a summary diagnostic, so a
+    partially corrupted golden reference still yields usable per-row
+    cycles for k selection and dispersion statistics.
+    """
+    cycles = np.full(len(table), np.nan, dtype=np.float64)
     for kernel_id, kernel_name in enumerate(table.kernel_names):
         rows = table.rows_for_kernel(kernel_id)
-        per_kernel = measurement.per_kernel[kernel_name]
-        cycles[rows] = per_kernel.cycles[table.invocation_id[rows]]
+        if len(rows) == 0:
+            continue
+        per_kernel = measurement.per_kernel.get(kernel_name)
+        if per_kernel is None:
+            continue
+        ids = table.invocation_id[rows]
+        valid = (ids >= 0) & (ids < len(per_kernel.cycles))
+        values = np.full(len(rows), np.nan)
+        values[valid] = per_kernel.cycles[ids[valid]].astype(np.float64)
+        values[values <= 0] = np.nan
+        cycles[rows] = values
+
+    bad = ~np.isfinite(cycles)
+    if bad.any():
+        for kernel_id, kernel_name in enumerate(table.kernel_names):
+            rows = table.rows_for_kernel(kernel_id)
+            kernel_bad = rows[bad[rows]] if len(rows) else rows
+            if len(kernel_bad) == 0:
+                continue
+            fallback = _kernel_mean_cycles(kernel_name, measurement)
+            if fallback is not None:
+                cycles[kernel_bad] = fallback
+        still_bad = ~np.isfinite(cycles)
+        if still_bad.any():
+            finite = cycles[~still_bad]
+            cycles[still_bad] = float(finite.mean()) if len(finite) else 0.0
+        diagnostics.emit(
+            "pks.golden",
+            f"workload {table.workload!r}: imputed {int(bad.sum())} "
+            "missing/zero golden cycle counts with kernel means",
+        )
     return cycles

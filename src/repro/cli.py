@@ -6,6 +6,8 @@ Examples::
     sieve-repro fig3 --cap 50000
     sieve-repro fig9
     sieve-repro sample cactus/lmc --theta 0.4
+    sieve-repro validate profile.csv --repair fixed.csv
+    sieve-repro --inject-faults drop:0.1,nan:0.05 sample cactus/lmc
 """
 
 from __future__ import annotations
@@ -18,6 +20,20 @@ from repro.evaluation import experiments
 from repro.evaluation.context import build_context
 from repro.evaluation.reporting import format_table, percent, times
 from repro.evaluation.runner import evaluate_pks, evaluate_sieve
+from repro.robustness import diagnostics
+from repro.robustness.faults import FaultPlan, parse_fault_plan
+from repro.utils.errors import ReproError
+
+#: Commands whose handlers honor --inject-faults.
+FAULT_AWARE_COMMANDS = frozenset({"fig3", "fig8", "sample"})
+
+
+def _fault_plan(args) -> FaultPlan | None:
+    # main() warns when the command is not fault-aware; here the flag is
+    # simply absent or already vetted.
+    if not getattr(args, "inject_faults", None):
+        return None
+    return parse_fault_plan(args.inject_faults, seed=args.fault_seed)
 
 
 def _print_comparison(rows, aggregates_of) -> None:
@@ -70,7 +86,9 @@ def _cmd_fig2(args) -> None:
 
 
 def _cmd_fig3(args) -> None:
-    rows = experiments.compare_methods(max_invocations=args.cap)
+    rows = experiments.compare_methods(
+        max_invocations=args.cap, fault_plan=_fault_plan(args)
+    )
     _print_comparison(rows, experiments.figure3_accuracy)
 
 
@@ -99,7 +117,7 @@ def _cmd_fig7(args) -> None:
 
 
 def _cmd_fig8(args) -> None:
-    rows = experiments.figure8_simple_suites(args.cap)
+    rows = experiments.figure8_simple_suites(args.cap, fault_plan=_fault_plan(args))
     _print_comparison(rows, experiments.figure3_accuracy)
 
 
@@ -179,7 +197,7 @@ def _cmd_simulate(args) -> None:
 
 
 def _cmd_sample(args) -> None:
-    context = build_context(args.workload, args.cap)
+    context = build_context(args.workload, args.cap, fault_plan=_fault_plan(args))
     sieve = evaluate_sieve(context, SieveConfig(theta=args.theta))
     pks = evaluate_pks(context)
     print(f"workload        : {context.label}")
@@ -192,6 +210,42 @@ def _cmd_sample(args) -> None:
         )
 
 
+def _cmd_validate(args) -> int:
+    """Validate (and optionally repair) a profile CSV (robustness tool)."""
+    from repro.profiling.csv_io import write_profile_csv
+    from repro.robustness.validate import repair_table, validate_profile_csv
+
+    report, table = validate_profile_csv(args.csv)
+    print(report.summary())
+    shown = report.issues[: args.limit] if args.limit else report.issues
+    if shown:
+        print(format_table(
+            ["severity", "kind", "row", "kernel", "message"],
+            [
+                (i.severity, i.kind,
+                 "-" if i.row is None else i.row,
+                 i.kernel or "-", i.message)
+                for i in shown
+            ],
+        ))
+        if len(shown) < len(report.issues):
+            print(f"... and {len(report.issues) - len(shown)} more issues")
+    if args.repair:
+        if table is None:
+            print("nothing salvageable to repair", file=sys.stderr)
+            return 1
+        result = repair_table(table)
+        write_profile_csv(result.table, args.repair)
+        print(
+            f"repaired table written to {args.repair} "
+            f"({len(result.table)} rows, {len(result.actions)} repair actions)"
+        )
+        for action in result.actions[: args.limit or len(result.actions)]:
+            print(f"  {action.kind} row {action.row} [{action.kernel}]: "
+                  f"{action.detail}")
+    return 0 if report.ok else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="sieve-repro",
@@ -202,6 +256,25 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=None,
         help="cap invocations per workload (default: full Table I scale)",
+    )
+    parser.add_argument(
+        "--inject-faults",
+        metavar="MODE:RATE[,MODE:RATE...]",
+        default=None,
+        help="corrupt profiles/golden reference before sampling "
+        "(modes: drop, truncate, duplicate, nan, negative, cycle_noise, "
+        "clock_drift, zero_cycles); honored by fig3, fig8 and sample",
+    )
+    parser.add_argument(
+        "--fault-seed",
+        type=int,
+        default=0,
+        help="seed for --inject-faults (default 0)",
+    )
+    parser.add_argument(
+        "--quiet-diagnostics",
+        action="store_true",
+        help="suppress degraded-path diagnostics on stderr",
     )
     sub = parser.add_subparsers(dest="command", required=True)
     commands = {
@@ -240,17 +313,48 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("directory")
     simulate.add_argument("--sms", type=int, default=2)
     simulate.set_defaults(handler=_cmd_simulate)
+
+    validate = sub.add_parser(
+        "validate", help="validate (and optionally repair) a profile CSV"
+    )
+    validate.add_argument("csv", help="profile CSV to validate")
+    validate.add_argument(
+        "--repair", metavar="OUT", default=None,
+        help="write a repaired copy of the profile to OUT",
+    )
+    validate.add_argument(
+        "--limit", type=int, default=50,
+        help="max issues/actions to print (0 = all; default 50)",
+    )
+    validate.set_defaults(handler=_cmd_validate)
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    unsubscribe = None
+    if not args.quiet_diagnostics:
+        unsubscribe = diagnostics.subscribe(
+            lambda record: print(str(record), file=sys.stderr)
+        )
     try:
-        args.handler(args)
+        if args.inject_faults and args.command not in FAULT_AWARE_COMMANDS:
+            diagnostics.emit(
+                "cli",
+                f"--inject-faults is not supported by {args.command!r} and was "
+                f"ignored (supported: {', '.join(sorted(FAULT_AWARE_COMMANDS))})",
+            )
+        return args.handler(args) or 0
     except BrokenPipeError:
         # Output piped into a pager/head that closed early — not an error.
         return 0
-    return 0
+    except ReproError as exc:
+        # Typed pipeline failures get a clean one-liner, not a traceback.
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    finally:
+        if unsubscribe is not None:
+            unsubscribe()
 
 
 if __name__ == "__main__":

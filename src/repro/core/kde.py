@@ -16,6 +16,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.utils.errors import SelectionError
 from repro.utils.stats import coefficient_of_variation
 from repro.utils.validation import require
 
@@ -38,8 +39,15 @@ class GaussianKDE1D:
     ) -> "GaussianKDE1D":
         """Fit a KDE with bandwidth ``scale * 1.06 sigma n^(-1/5)``."""
         samples = np.asarray(samples, dtype=np.float64)
-        require(len(samples) >= 1, "KDE needs at least one sample")
-        require(bandwidth_scale > 0, "bandwidth scale must be positive")
+        require(len(samples) >= 1, "KDE needs at least one sample", SelectionError)
+        require(
+            bool(np.all(np.isfinite(samples))),
+            "KDE samples must be finite",
+            SelectionError,
+        )
+        require(
+            bandwidth_scale > 0, "bandwidth scale must be positive", SelectionError
+        )
         sigma = float(samples.std())
         n = len(samples)
         bandwidth = 1.06 * sigma * n ** (-1.0 / 5.0) * bandwidth_scale
@@ -110,7 +118,12 @@ def kde_strata(
     satisfy it).
     """
     insn_count = np.asarray(insn_count, dtype=np.float64)
-    require(bool(np.all(insn_count > 0)), "instruction counts must be positive")
+    require(
+        bool(np.all(insn_count > 0)),
+        "instruction counts must be positive (run "
+        "repro.robustness.validate.repair_table on dirty profiles)",
+        SelectionError,
+    )
     log_values = np.log(insn_count)
 
     def refine(indices: np.ndarray, allow_kde: bool) -> list[np.ndarray]:

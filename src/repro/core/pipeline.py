@@ -3,6 +3,13 @@
 ``select`` turns a profile table into representative kernel invocations
 with weights; ``predict`` combines those representatives' measured (or
 simulated) performance into an application-level prediction.
+
+Both stages degrade gracefully on dirty input: ``select`` raises a typed
+:class:`SelectionError` only when nothing is selectable, and ``predict``
+imputes a kernel-mean (then workload-mean) IPC for representatives whose
+measurements are missing, zero or non-finite — emitting a diagnostic per
+fallback through :mod:`repro.robustness.diagnostics` — instead of letting
+``inf``/``nan`` propagate silently into the predicted cycle count.
 """
 
 from __future__ import annotations
@@ -11,6 +18,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+import repro.robustness.diagnostics as diagnostics
 from repro.core.config import SieveConfig
 from repro.core.prediction import PredictionResult, predict_cycles, predict_ipc
 from repro.core.selection import select_representative_row
@@ -19,6 +27,7 @@ from repro.core.types import Representative, SampleSelection
 from repro.core.weights import stratum_weights
 from repro.gpu.hardware import WorkloadMeasurement
 from repro.profiling.table import ProfileTable
+from repro.utils.errors import PredictionError, SelectionError
 from repro.utils.validation import require
 
 METHOD_NAME = "sieve"
@@ -31,6 +40,41 @@ class SieveSelection(SampleSelection):
     strata: tuple[Stratum, ...] = ()
 
 
+def measured_ipc_or_none(
+    rep: Representative, measurement: WorkloadMeasurement
+) -> float | None:
+    """The representative's measured IPC, or ``None`` if unusable.
+
+    Unusable means: its kernel is absent from the measurement, its
+    invocation index is out of range (dropped invocation), or either
+    counter is non-positive/non-finite.
+    """
+    try:
+        insn = rep.measured_insn(measurement)
+        cycles = rep.measured_cycles(measurement)
+    except (KeyError, IndexError):
+        return None
+    if cycles <= 0 or insn <= 0:
+        return None
+    ipc = insn / cycles
+    return ipc if np.isfinite(ipc) else None
+
+
+def kernel_mean_ipc(
+    kernel_name: str, measurement: WorkloadMeasurement
+) -> float | None:
+    """Mean IPC over a kernel's cleanly measured invocations, if any."""
+    kernel = measurement.per_kernel.get(kernel_name)
+    if kernel is None:
+        return None
+    cycles = kernel.cycles.astype(np.float64)
+    insn = kernel.insn_count.astype(np.float64)
+    clean = (cycles > 0) & (insn > 0)
+    if not clean.any():
+        return None
+    return float((insn[clean] / cycles[clean]).mean())
+
+
 class SievePipeline:
     """Profile table -> strata -> representatives -> prediction."""
 
@@ -39,8 +83,11 @@ class SievePipeline:
 
     def select(self, table: ProfileTable) -> SieveSelection:
         """Stratify ``table`` and pick one representative per stratum."""
-        require(len(table) > 0, "profile table is empty")
+        require(len(table) > 0, "profile table is empty", SelectionError)
         strata = stratify_table(table, self.config)
+        require(
+            len(strata) > 0, "stratification produced no strata", SelectionError
+        )
         weights = stratum_weights(strata)
         representatives = []
         for stratum, weight in zip(strata, weights):
@@ -72,16 +119,56 @@ class SievePipeline:
 
         ``measurement`` supplies per-invocation cycle counts for the
         representative invocations only (conceptually: the output of
-        simulating just the selected samples).
+        simulating just the selected samples). Representatives whose
+        measurement is missing or degenerate get a kernel-mean IPC
+        imputed (workload-mean as a last resort), each with a diagnostic;
+        only a measurement with *no* usable invocation at all raises
+        :class:`PredictionError`.
         """
         reps = selection.representatives
-        ipc = np.array(
-            [
-                r.measured_insn(measurement) / r.measured_cycles(measurement)
-                for r in reps
-            ]
-        )
-        weights = np.array([r.weight for r in reps])
+        ipc = np.empty(len(reps), dtype=np.float64)
+        missing: list[int] = []
+        for i, rep in enumerate(reps):
+            value = measured_ipc_or_none(rep, measurement)
+            if value is None:
+                value = kernel_mean_ipc(rep.kernel_name, measurement)
+                if value is not None:
+                    diagnostics.emit(
+                        "sieve.predict",
+                        f"representative {rep.group} (kernel "
+                        f"{rep.kernel_name!r}, invocation "
+                        f"{rep.invocation_id}) has no usable measurement; "
+                        f"imputed kernel-mean IPC {value:.4g}",
+                    )
+                else:
+                    missing.append(i)
+                    continue
+            ipc[i] = value
+
+        if missing:
+            usable = [i for i in range(len(reps)) if i not in set(missing)]
+            if not usable:
+                raise PredictionError(
+                    f"workload {selection.workload!r}: no representative has "
+                    "a usable measurement to predict from"
+                )
+            fallback = float(ipc[usable].mean())
+            for i in missing:
+                ipc[i] = fallback
+                diagnostics.emit(
+                    "sieve.predict",
+                    f"representative {reps[i].group} (kernel "
+                    f"{reps[i].kernel_name!r}) has no measurements at all; "
+                    f"imputed workload-mean IPC {fallback:.4g}",
+                )
+
+        weights = np.array([r.weight for r in reps], dtype=np.float64)
+        if not np.isfinite(weights).all() or weights.sum() <= 0:
+            diagnostics.emit(
+                "sieve.predict",
+                "degenerate representative weights; falling back to uniform",
+            )
+            weights = np.full(len(reps), 1.0 / len(reps))
         predicted_ipc = predict_ipc(ipc, weights)
         return PredictionResult(
             workload=selection.workload,

@@ -14,6 +14,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.utils.errors import PredictionError
 from repro.utils.stats import weighted_arithmetic_mean, weighted_harmonic_mean
 from repro.utils.validation import require
 
@@ -41,8 +42,12 @@ def predict_ipc(rep_ipc: np.ndarray, weights: np.ndarray) -> float:
 
 def predict_cycles(total_instructions: int, predicted_ipc: float) -> float:
     """Cycles = known total instruction count / predicted IPC."""
-    require(total_instructions > 0, "total instruction count must be positive")
-    require(predicted_ipc > 0, "IPC must be positive")
+    require(
+        total_instructions > 0,
+        "total instruction count must be positive",
+        PredictionError,
+    )
+    require(predicted_ipc > 0, "IPC must be positive", PredictionError)
     return total_instructions / predicted_ipc
 
 

@@ -15,6 +15,7 @@ import numpy as np
 
 from repro.core.stratify import Stratum
 from repro.profiling.table import ProfileTable
+from repro.utils.errors import SelectionError
 from repro.utils.seeding import rng_for
 from repro.utils.validation import require
 from repro.workloads.spec import Tier
@@ -23,7 +24,11 @@ from repro.workloads.spec import Tier
 def _first_with_cta(table: ProfileTable, stratum: Stratum, cta: int) -> int:
     member_cta = table.cta_size[stratum.rows]
     candidates = stratum.rows[member_cta == cta]
-    require(len(candidates) > 0, "no invocation with the requested CTA size")
+    require(
+        len(candidates) > 0,
+        "no invocation with the requested CTA size",
+        SelectionError,
+    )
     return int(candidates[0])
 
 

@@ -12,6 +12,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+import repro.robustness.diagnostics as diagnostics
 from repro.core.config import SieveConfig
 from repro.core.kde import kde_strata
 from repro.core.tiers import classify_invocations
@@ -53,6 +54,18 @@ def stratify_table(table: ProfileTable, config: SieveConfig) -> list[Stratum]:
         if len(rows) == 0:
             continue
         insn = table.insn_count[rows]
+        # Graceful degradation: non-positive instruction counts (dropped
+        # or corrupted counters) would blow up the log-domain KDE and the
+        # CoV. Clamp them to 1 for stratification purposes and say so;
+        # repro.robustness.validate.repair_table is the lossless fix.
+        bad = insn <= 0
+        if bad.any():
+            insn = np.where(bad, 1, insn)
+            diagnostics.emit(
+                "stratify",
+                f"kernel {table.kernel_names[kernel_id]!r}: clamped "
+                f"{int(bad.sum())} non-positive insn counts to 1",
+            )
         classification = classify_invocations(insn, config.theta)
         if classification.tier in (Tier.TIER1, Tier.TIER2):
             groups = [np.arange(len(rows))]
@@ -64,8 +77,9 @@ def stratify_table(table: ProfileTable, config: SieveConfig) -> list[Stratum]:
                 bandwidth_scale=config.kde_bandwidth_scale,
             )
         for index, group in enumerate(groups):
-            member_rows = rows[np.sort(group)]
-            member_insn = table.insn_count[member_rows]
+            order = np.sort(group)
+            member_rows = rows[order]
+            member_insn = insn[order]  # clamped view, keeps totals positive
             strata.append(
                 Stratum(
                     kernel_id=kernel_id,

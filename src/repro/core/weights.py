@@ -9,14 +9,27 @@ from __future__ import annotations
 
 import numpy as np
 
+import repro.robustness.diagnostics as diagnostics
 from repro.core.stratify import Stratum
+from repro.utils.errors import SelectionError
 from repro.utils.validation import require
 
 
 def stratum_weights(strata: list[Stratum]) -> np.ndarray:
-    """Instruction-count-share weights, summing to one."""
-    require(len(strata) >= 1, "need at least one stratum")
+    """Instruction-count-share weights, summing to one.
+
+    Degenerate input (a zero or negative grand total, as produced by
+    corrupted counters) falls back to uniform weights with a diagnostic
+    rather than failing the whole selection.
+    """
+    require(len(strata) >= 1, "need at least one stratum", SelectionError)
     totals = np.array([s.insn_total for s in strata], dtype=np.float64)
     grand_total = totals.sum()
-    require(grand_total > 0, "workload executes no instructions")
+    if grand_total <= 0 or not np.isfinite(grand_total):
+        diagnostics.emit(
+            "weights",
+            f"degenerate instruction totals (sum={grand_total!r}); "
+            "falling back to uniform stratum weights",
+        )
+        return np.full(len(strata), 1.0 / len(strata))
     return totals / grand_total

@@ -16,6 +16,11 @@ from repro.profiling.cost import ProfilingCost
 from repro.profiling.nsight import NsightComputeProfiler
 from repro.profiling.nvbit import NVBitProfiler
 from repro.profiling.table import ProfileTable
+from repro.robustness.faults import (
+    FaultPlan,
+    inject_measurement_faults,
+    inject_table_faults,
+)
 from repro.workloads.catalog import spec_for
 from repro.workloads.generator import WorkloadRun, generate
 
@@ -30,6 +35,15 @@ class WorkloadContext:
     pks_table: ProfileTable  # Nsight profile (12 metrics)
     sieve_profiling: ProfilingCost
     pks_profiling: ProfilingCost
+    #: The uncorrupted golden reference when fault injection is active.
+    #: ``golden`` is what the samplers see; ``truth`` is what accuracy is
+    #: judged against. Identical unless a fault plan touched the run.
+    clean_golden: WorkloadMeasurement | None = None
+
+    @property
+    def truth(self) -> WorkloadMeasurement:
+        """The measurement accuracy should be judged against."""
+        return self.clean_golden if self.clean_golden is not None else self.golden
 
     @property
     def label(self) -> str:
@@ -41,12 +55,27 @@ class WorkloadContext:
 
 
 @lru_cache(maxsize=4)
-def _cached_context(label: str, max_invocations: int | None, arch_name: str):
+def _cached_context(
+    label: str,
+    max_invocations: int | None,
+    arch_name: str,
+    fault_plan: FaultPlan | None,
+):
     arch = {a.name: a for a in (AMPERE_RTX3080, TURING_RTX2080TI)}[arch_name]
     run = generate(spec_for(label), max_invocations=max_invocations)
     golden = HardwareExecutor(arch).measure(run)
     sieve_table, sieve_cost = NVBitProfiler(arch).profile(run)
     pks_table, pks_cost = NsightComputeProfiler(arch).profile(run)
+    clean_golden = None
+    if fault_plan is not None:
+        # Corrupt what the samplers *see* (profiles + golden reference);
+        # the workload itself stays pristine, mirroring a dirty profiling
+        # run over a healthy application. Accuracy is still judged against
+        # the clean reference (``WorkloadContext.truth``).
+        clean_golden = golden
+        sieve_table, _ = inject_table_faults(sieve_table, fault_plan)
+        pks_table, _ = inject_table_faults(pks_table, fault_plan)
+        golden, _ = inject_measurement_faults(golden, fault_plan)
     return WorkloadContext(
         run=run,
         golden=golden,
@@ -54,6 +83,7 @@ def _cached_context(label: str, max_invocations: int | None, arch_name: str):
         pks_table=pks_table,
         sieve_profiling=sieve_cost,
         pks_profiling=pks_cost,
+        clean_golden=clean_golden,
     )
 
 
@@ -61,6 +91,13 @@ def build_context(
     label: str,
     max_invocations: int | None = None,
     arch: GpuArchitecture = AMPERE_RTX3080,
+    fault_plan: FaultPlan | None = None,
 ) -> WorkloadContext:
-    """Build (or fetch the cached) evaluation context for ``label``."""
-    return _cached_context(label, max_invocations, arch.name)
+    """Build (or fetch the cached) evaluation context for ``label``.
+
+    ``fault_plan`` (see :mod:`repro.robustness.faults`) optionally injects
+    deterministic corruption into the profile tables and the golden
+    measurement — the knob behind the CLI's ``--inject-faults`` and the
+    resilience benchmark. Plans are part of the cache key.
+    """
+    return _cached_context(label, max_invocations, arch.name, fault_plan)

@@ -135,12 +135,18 @@ def compare_methods(
     labels: list[str] | None = None,
     max_invocations: int | None = None,
     theta: float = 0.4,
+    fault_plan=None,
 ) -> list[ComparisonRow]:
-    """Evaluate Sieve and PKS on each workload (drives Figures 3, 4, 6)."""
+    """Evaluate Sieve and PKS on each workload (drives Figures 3, 4, 6).
+
+    ``fault_plan`` (a :class:`repro.robustness.faults.FaultPlan`) injects
+    deterministic profile/measurement corruption first — the resilience
+    study's entry point.
+    """
     labels = labels if labels is not None else _challenging_labels()
     rows = []
     for label in labels:
-        context = build_context(label, max_invocations)
+        context = build_context(label, max_invocations, fault_plan=fault_plan)
         rows.append(
             ComparisonRow(
                 workload=label,
@@ -235,9 +241,11 @@ def figure7_profiling(
 # Figure 8: the simple suites
 
 
-def figure8_simple_suites(max_invocations: int | None = None) -> list[ComparisonRow]:
+def figure8_simple_suites(
+    max_invocations: int | None = None, fault_plan=None
+) -> list[ComparisonRow]:
     """Sieve vs PKS on Parboil/Rodinia/CUDA SDK (Figure 8)."""
-    return compare_methods(_simple_labels(), max_invocations)
+    return compare_methods(_simple_labels(), max_invocations, fault_plan=fault_plan)
 
 
 # --------------------------------------------------------------------- #

@@ -43,15 +43,18 @@ def evaluate_sieve(
     prediction = pipeline.predict(selection, context.golden)
     cycles = cycles_in_table_order(context.sieve_table, context.golden)
     cov = weighted_cycle_cov((s.rows for s in selection.strata), cycles)
+    # Accuracy is judged against the *clean* reference (context.truth);
+    # under fault injection it differs from the corrupted context.golden
+    # the pipeline consumed.
     return MethodResult(
         workload=context.label,
         method=selection.method,
-        error=prediction_error(prediction.predicted_cycles, context.golden.total_cycles),
+        error=prediction_error(prediction.predicted_cycles, context.truth.total_cycles),
         speedup=simulation_speedup(selection, context.golden),
         num_representatives=selection.num_representatives,
         cycle_cov=cov,
         predicted_cycles=prediction.predicted_cycles,
-        measured_cycles=context.golden.total_cycles,
+        measured_cycles=context.truth.total_cycles,
         selection=selection,
     )
 
@@ -68,12 +71,12 @@ def evaluate_pks(
     return MethodResult(
         workload=context.label,
         method=selection.method,
-        error=prediction_error(prediction.predicted_cycles, context.golden.total_cycles),
+        error=prediction_error(prediction.predicted_cycles, context.truth.total_cycles),
         speedup=simulation_speedup(selection, context.golden),
         num_representatives=selection.num_representatives,
         cycle_cov=cov,
         predicted_cycles=prediction.predicted_cycles,
-        measured_cycles=context.golden.total_cycles,
+        measured_cycles=context.truth.total_cycles,
         selection=selection,
     )
 

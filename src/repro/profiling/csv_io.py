@@ -3,6 +3,14 @@
 Section IV: "The data is converted into a readable CSV file which serves as
 input to PKS and Sieve." This module round-trips :class:`ProfileTable`
 through that CSV format.
+
+The preamble row carries the workload name and the expected invocation-row
+count (``# workload,<name>,rows,<n>``) so truncated files are detectable;
+readers tolerate older files without the count. :func:`read_profile_csv`
+is strict: any malformed row raises :class:`ProfileError` carrying the
+file path and 1-based line number. For a lenient scan that salvages the
+good rows and reports everything wrong, see
+:func:`repro.robustness.validate.validate_profile_csv`.
 """
 
 from __future__ import annotations
@@ -14,6 +22,7 @@ import numpy as np
 
 from repro.gpu.kernel import PKS_METRIC_NAMES
 from repro.profiling.table import ProfileTable
+from repro.utils.errors import ProfileError
 from repro.utils.validation import require
 
 _BASE_COLUMNS = ("kernel_name", "invocation_id", "insn_count", "cta_size", "num_ctas")
@@ -28,7 +37,7 @@ def write_profile_csv(table: ProfileTable, path: str | Path) -> None:
         header += [name for name in table.metric_names if name != "instruction_count"]
     with path.open("w", newline="") as handle:
         writer = csv.writer(handle)
-        writer.writerow(["# workload", table.workload])
+        writer.writerow(["# workload", table.workload, "rows", len(table)])
         writer.writerow(header)
         for row in range(len(table)):
             record: list[object] = [
@@ -47,21 +56,98 @@ def write_profile_csv(table: ProfileTable, path: str | Path) -> None:
             writer.writerow(record)
 
 
+def parse_preamble(preamble: list[str], path: Path) -> tuple[str, int | None]:
+    """Extract (workload, declared row count) from the preamble row."""
+    require(
+        len(preamble) >= 2 and preamble[0] == "# workload",
+        "missing workload preamble",
+        lambda m: ProfileError(m, path=str(path), row=1),
+    )
+    workload = preamble[1]
+    declared_rows: int | None = None
+    if len(preamble) >= 4 and preamble[2] == "rows":
+        try:
+            declared_rows = int(preamble[3])
+        except ValueError:
+            raise ProfileError(
+                f"unparseable row count {preamble[3]!r}", path=str(path), row=1
+            ) from None
+    return workload, declared_rows
+
+
+def parse_header(header: list[str], path: Path) -> list[str]:
+    """Check the base columns and return the trailing metric columns."""
+    require(
+        tuple(header[: len(_BASE_COLUMNS)]) == _BASE_COLUMNS,
+        f"unexpected CSV columns {header[:len(_BASE_COLUMNS)]!r}",
+        lambda m: ProfileError(m, path=str(path), row=2),
+    )
+    metric_columns = header[len(_BASE_COLUMNS):]
+    unknown = [name for name in metric_columns if name not in PKS_METRIC_NAMES]
+    require(
+        not unknown,
+        f"unknown metric columns {unknown!r}",
+        lambda m: ProfileError(m, path=str(path), row=2),
+    )
+    return metric_columns
+
+
+def parse_data_row(
+    row: list[str], num_metrics: int
+) -> tuple[str, int, int, int, int, list[float]]:
+    """Parse one data row; raises plain ``ValueError`` on any bad field."""
+    expected = len(_BASE_COLUMNS) + num_metrics
+    if len(row) != expected:
+        raise ValueError(f"expected {expected} columns, found {len(row)}")
+    name = row[0]
+    invocation = int(row[1])
+    insn = int(row[2])
+    cta = int(row[3])
+    ctas = int(row[4])
+    metric_values = [float(v) for v in row[5:]]
+    return name, invocation, insn, cta, ctas, metric_values
+
+
 def read_profile_csv(path: str | Path) -> ProfileTable:
-    """Read a profile table previously written by :func:`write_profile_csv`."""
+    """Read a profile table previously written by :func:`write_profile_csv`.
+
+    Malformed input — empty files, bad headers, rows with the wrong column
+    count or unparseable numbers, missing metric columns, or a row count
+    that contradicts the preamble (a truncated file) — raises
+    :class:`ProfileError` with the file path and 1-based row number.
+    """
     path = Path(path)
     with path.open(newline="") as handle:
         reader = csv.reader(handle)
-        preamble = next(reader)
-        require(preamble[:1] == ["# workload"], "missing workload preamble")
-        workload = preamble[1]
-        header = next(reader)
-        require(
-            tuple(header[: len(_BASE_COLUMNS)]) == _BASE_COLUMNS,
-            "unexpected CSV columns",
+        try:
+            preamble = next(reader)
+        except StopIteration:
+            raise ProfileError("empty profile CSV", path=str(path)) from None
+        workload, declared_rows = parse_preamble(preamble, path)
+        try:
+            header = next(reader)
+        except StopIteration:
+            raise ProfileError(
+                "missing header row", path=str(path), row=2
+            ) from None
+        metric_columns = parse_header(header, path)
+        rows = []
+        line_numbers = []
+        for row in reader:
+            rows.append(row)
+            line_numbers.append(reader.line_num)
+
+    require(
+        len(rows) > 0,
+        "profile CSV contains no invocation rows",
+        lambda m: ProfileError(m, path=str(path)),
+    )
+    if declared_rows is not None and declared_rows != len(rows):
+        raise ProfileError(
+            f"row count mismatch: preamble declares {declared_rows} rows, "
+            f"found {len(rows)} (file truncated or rows dropped?)",
+            path=str(path),
         )
-        metric_columns = header[len(_BASE_COLUMNS):]
-        rows = list(reader)
 
     kernel_names: list[str] = []
     kernel_index: dict[str, int] = {}
@@ -76,24 +162,43 @@ def read_profile_csv(path: str | Path) -> ProfileTable:
         else None
     )
     for i, row in enumerate(rows):
-        name = row[0]
+        try:
+            name, inv, count, cta, ctas, values = parse_data_row(
+                row, len(metric_columns)
+            )
+        except ValueError as exc:
+            raise ProfileError(
+                str(exc), path=str(path), row=line_numbers[i]
+            ) from None
         if name not in kernel_index:
             kernel_index[name] = len(kernel_names)
             kernel_names.append(name)
         kernel_id[i] = kernel_index[name]
-        invocation_id[i] = int(row[1])
-        insn[i] = int(row[2])
-        cta_size[i] = int(row[3])
-        num_ctas[i] = int(row[4])
+        invocation_id[i] = inv
+        insn[i] = count
+        cta_size[i] = cta
+        num_ctas[i] = ctas
         if metric_values is not None:
-            metric_values[i] = [float(v) for v in row[5:]]
+            metric_values[i] = values
 
     metrics = None
     if metric_values is not None:
         # Reassemble the full Table II matrix in canonical column order,
-        # reinserting instruction_count from its dedicated column.
-        metrics = np.empty((len(rows), len(PKS_METRIC_NAMES)), dtype=np.float64)
+        # reinserting instruction_count from its dedicated column. The
+        # stored columns may appear in any order; all non-instruction
+        # metrics must be present.
         stored = {name: j for j, name in enumerate(metric_columns)}
+        missing = [
+            name
+            for name in PKS_METRIC_NAMES
+            if name != "instruction_count" and name not in stored
+        ]
+        require(
+            not missing,
+            f"missing metric columns {missing!r}",
+            lambda m: ProfileError(m, path=str(path), row=2),
+        )
+        metrics = np.empty((len(rows), len(PKS_METRIC_NAMES)), dtype=np.float64)
         for j, name in enumerate(PKS_METRIC_NAMES):
             if name == "instruction_count":
                 metrics[:, j] = insn.astype(np.float64)

@@ -1,0 +1,55 @@
+"""Robustness subsystem: fault injection, validation, diagnostics.
+
+Real profiler output is routinely dirty — truncated runs, dropped
+invocations, NaN counters, duplicated rows. This package provides
+
+* :mod:`repro.robustness.faults` — a deterministic, seedable harness that
+  injects such corruptions into profile tables, CSV files and hardware
+  measurements;
+* :mod:`repro.robustness.validate` — schema/invariant validation and
+  repair of profile tables, producing structured reports;
+* :mod:`repro.robustness.diagnostics` — the warning channel through which
+  the pipelines report every degraded-path decision they take.
+"""
+
+from repro.robustness.diagnostics import Diagnostic, capture_diagnostics, emit
+from repro.robustness.faults import (
+    FAULT_MODES,
+    FaultPlan,
+    FaultRecord,
+    FaultSpec,
+    inject_csv_faults,
+    inject_measurement_faults,
+    inject_table_faults,
+    parse_fault_plan,
+)
+from repro.robustness.validate import (
+    RepairAction,
+    RepairResult,
+    ValidationIssue,
+    ValidationReport,
+    repair_table,
+    validate_profile_csv,
+    validate_table,
+)
+
+__all__ = [
+    "Diagnostic",
+    "capture_diagnostics",
+    "emit",
+    "FAULT_MODES",
+    "FaultPlan",
+    "FaultRecord",
+    "FaultSpec",
+    "inject_csv_faults",
+    "inject_measurement_faults",
+    "inject_table_faults",
+    "parse_fault_plan",
+    "RepairAction",
+    "RepairResult",
+    "ValidationIssue",
+    "ValidationReport",
+    "repair_table",
+    "validate_profile_csv",
+    "validate_table",
+]

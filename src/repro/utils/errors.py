@@ -1,0 +1,53 @@
+"""Typed exception hierarchy for the reproduction.
+
+Every invariant failure inside the library raises a :class:`ReproError`
+subclass so callers can catch failures per pipeline stage (profile
+ingestion vs selection vs prediction) without string matching. The
+hierarchy deliberately subclasses :class:`ValueError`: historical call
+sites (and tests) that catch ``ValueError`` keep working unchanged.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(ValueError):
+    """Base class for all errors raised by the reproduction library."""
+
+
+class ProfileError(ReproError):
+    """Malformed or unreadable profiler output (CSV files, tables).
+
+    Carries the offending file path and 1-based row number when known so
+    users can locate the corruption in multi-million-row profiles.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        path: str | None = None,
+        row: int | None = None,
+    ):
+        self.path = path
+        self.row = row
+        prefix = ""
+        if path is not None:
+            prefix = f"{path}:"
+            if row is not None:
+                prefix += f"row {row}:"
+            prefix += " "
+        elif row is not None:
+            prefix = f"row {row}: "
+        super().__init__(prefix + message)
+
+
+class SelectionError(ReproError):
+    """Representative selection failed (empty table, degenerate strata)."""
+
+
+class PredictionError(ReproError):
+    """Performance prediction failed (no usable measurements at all)."""
+
+
+class FaultInjectionError(ReproError):
+    """A fault-injection request was malformed (unknown mode, bad rate)."""

@@ -3,7 +3,14 @@
 from __future__ import annotations
 
 
-def require(condition: bool, message: str) -> None:
-    """Raise :class:`ValueError` with ``message`` unless ``condition``."""
+def require(
+    condition: bool, message: str, error: type[Exception] = ValueError
+) -> None:
+    """Raise ``error`` (default :class:`ValueError`) unless ``condition``.
+
+    Call sites that guard a specific pipeline stage pass one of the typed
+    exceptions from :mod:`repro.utils.errors` (all of which subclass
+    ``ValueError``) so failures are catchable per stage.
+    """
     if not condition:
-        raise ValueError(message)
+        raise error(message)

@@ -1,6 +1,5 @@
 """Tests for the interval timing model."""
 
-import dataclasses
 
 import numpy as np
 import pytest

@@ -1,10 +1,16 @@
 """Tests for CSV round-tripping of profile tables."""
 
-import numpy as np
+import csv
 
+import numpy as np
+import pytest
+
+from repro.gpu.kernel import PKS_METRIC_NAMES
 from repro.profiling.csv_io import read_profile_csv, write_profile_csv
 from repro.profiling.nsight import NsightComputeProfiler
 from repro.profiling.nvbit import NVBitProfiler
+from repro.profiling.table import ProfileTable
+from repro.utils.errors import ProfileError
 
 
 def assert_tables_equal(a, b, with_metrics):
@@ -47,3 +53,135 @@ def test_csv_is_human_readable(toy_run, tmp_path):
     assert lines[0].startswith("# workload")
     assert lines[1].split(",")[:3] == ["kernel_name", "invocation_id", "insn_count"]
     assert len(lines) == len(table) + 2
+
+
+# ------------------------------------------------------------------ #
+# Adversarial round trips
+
+
+def tiny_table(kernel_names, rows_per_kernel=2, with_metrics=False):
+    n = len(kernel_names) * rows_per_kernel
+    insn = np.arange(1, n + 1, dtype=np.int64) * 1000
+    metrics = None
+    if with_metrics:
+        metrics = np.linspace(0.0, 1.0, n * len(PKS_METRIC_NAMES)).reshape(
+            n, len(PKS_METRIC_NAMES)
+        )
+        # The writer derives this column from insn_count, so keep them
+        # consistent for byte-exact round trips.
+        metrics[:, PKS_METRIC_NAMES.index("instruction_count")] = insn
+    return ProfileTable(
+        workload="adversarial",
+        kernel_names=tuple(kernel_names),
+        kernel_id=np.repeat(
+            np.arange(len(kernel_names), dtype=np.int32), rows_per_kernel
+        ),
+        invocation_id=np.tile(
+            np.arange(rows_per_kernel, dtype=np.int64), len(kernel_names)
+        ),
+        insn_count=insn,
+        cta_size=np.full(n, 128, dtype=np.int32),
+        num_ctas=np.full(n, 16, dtype=np.int64),
+        metrics=metrics,
+    )
+
+
+@pytest.mark.parametrize(
+    "name",
+    [
+        'kernel<float, 4>(int, float*)',
+        "reduce, then scan",
+        'say "hello"',
+        "ядро_свёртки",  # unicode
+        "tab\tand space kernel",
+    ],
+)
+def test_round_trip_survives_hostile_kernel_names(tmp_path, name):
+    table = tiny_table([name, "plain_kernel"])
+    path = tmp_path / "hostile.csv"
+    write_profile_csv(table, path)
+    assert_tables_equal(table, read_profile_csv(path), with_metrics=False)
+
+
+def test_round_trip_reordered_metric_columns(tmp_path):
+    table = tiny_table(["a", "b"], with_metrics=True)
+    path = tmp_path / "ordered.csv"
+    write_profile_csv(table, path)
+    with path.open(newline="") as handle:
+        preamble, header, *rows = list(csv.reader(handle))
+    base, metric_cols = header[:5], header[5:]
+    order = list(reversed(range(len(metric_cols))))
+    shuffled = tmp_path / "shuffled.csv"
+    with shuffled.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(preamble)
+        writer.writerow(base + [metric_cols[j] for j in order])
+        for row in rows:
+            writer.writerow(row[:5] + [row[5 + j] for j in order])
+    assert_tables_equal(table, read_profile_csv(shuffled), with_metrics=True)
+
+
+def test_round_trip_single_invocation_table(tmp_path):
+    table = tiny_table(["only"], rows_per_kernel=1)
+    path = tmp_path / "single.csv"
+    write_profile_csv(table, path)
+    restored = read_profile_csv(path)
+    assert len(restored) == 1
+    assert_tables_equal(table, restored, with_metrics=False)
+
+
+# ------------------------------------------------------------------ #
+# Strict-reader error reporting
+
+
+def test_read_empty_file_raises_profile_error(tmp_path):
+    path = tmp_path / "empty.csv"
+    path.write_text("")
+    with pytest.raises(ProfileError, match="empty profile CSV"):
+        read_profile_csv(path)
+
+
+def test_read_header_only_raises(tmp_path):
+    path = tmp_path / "headeronly.csv"
+    path.write_text(
+        "# workload,x,rows,0\n"
+        "kernel_name,invocation_id,insn_count,cta_size,num_ctas\n"
+    )
+    with pytest.raises(ProfileError, match="no invocation rows"):
+        read_profile_csv(path)
+
+
+def test_read_bad_row_reports_path_and_line(tmp_path):
+    table = tiny_table(["a", "b"])
+    path = tmp_path / "badrow.csv"
+    write_profile_csv(table, path)
+    lines = path.read_text().splitlines()
+    lines[4] = "a,not_an_int,5,128,16"
+    path.write_text("\n".join(lines) + "\n")
+    with pytest.raises(ProfileError) as excinfo:
+        read_profile_csv(path)
+    assert excinfo.value.path == str(path)
+    assert excinfo.value.row == 5  # 1-based line number
+    assert str(path) in str(excinfo.value)
+    assert "row 5" in str(excinfo.value)
+
+
+def test_read_truncated_file_raises(tmp_path):
+    table = tiny_table(["a", "b"])
+    path = tmp_path / "truncated.csv"
+    write_profile_csv(table, path)
+    lines = path.read_text().splitlines()
+    path.write_text("\n".join(lines[:-2]) + "\n")
+    with pytest.raises(ProfileError, match="row count mismatch"):
+        read_profile_csv(path)
+
+
+def test_read_unknown_metric_column_raises(tmp_path):
+    path = tmp_path / "unknown.csv"
+    path.write_text(
+        "# workload,x,rows,1\n"
+        "kernel_name,invocation_id,insn_count,cta_size,num_ctas,bogus_metric\n"
+        "k,0,100,128,16,1.5\n"
+    )
+    with pytest.raises(ProfileError, match="unknown metric columns"):
+        read_profile_csv(path)

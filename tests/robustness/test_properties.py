@@ -1,0 +1,110 @@
+"""Property-based tests for fault injection, validation and repair."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.profiling.csv_io import write_profile_csv
+from repro.profiling.table import ProfileTable
+from repro.robustness.faults import (
+    FAULT_MODES,
+    FaultPlan,
+    FaultSpec,
+    inject_csv_faults,
+    inject_table_faults,
+)
+from repro.robustness.validate import repair_table, validate_table
+from repro.utils.errors import ProfileError
+
+_CSV_MODES = sorted(m for m, s in FAULT_MODES.items() if "csv" in s)
+_TABLE_MODES = sorted(m for m, s in FAULT_MODES.items() if "table" in s)
+
+
+def build_table(num_kernels: int, rows_per_kernel: int, with_metrics: bool):
+    rng = np.random.default_rng(num_kernels * 1000 + rows_per_kernel)
+    n = num_kernels * rows_per_kernel
+    kernel_id = np.repeat(np.arange(num_kernels, dtype=np.int32), rows_per_kernel)
+    invocation_id = np.tile(
+        np.arange(rows_per_kernel, dtype=np.int64), num_kernels
+    )
+    return ProfileTable(
+        workload="prop",
+        kernel_names=tuple(f"k{i}" for i in range(num_kernels)),
+        kernel_id=kernel_id,
+        invocation_id=invocation_id,
+        insn_count=rng.integers(1, 10**9, size=n).astype(np.int64),
+        cta_size=rng.integers(32, 1024, size=n).astype(np.int32),
+        num_ctas=rng.integers(1, 10**5, size=n).astype(np.int64),
+        metrics=rng.random((n, 12)) if with_metrics else None,
+    )
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    mode=st.sampled_from(_CSV_MODES),
+    seed=st.integers(min_value=0, max_value=10**6),
+    num_kernels=st.integers(min_value=1, max_value=4),
+    rows_per_kernel=st.integers(min_value=1, max_value=30),
+    with_metrics=st.booleans(),
+)
+def test_any_mode_at_rate_zero_is_byte_identity(
+    tmp_path_factory, mode, seed, num_kernels, rows_per_kernel, with_metrics
+):
+    """Satellite property: any fault mode at rate 0 leaves the CSV
+    byte-identical."""
+    table = build_table(num_kernels, rows_per_kernel, with_metrics)
+    tmp = tmp_path_factory.mktemp("rate0")
+    source, target = tmp / "in.csv", tmp / "out.csv"
+    write_profile_csv(table, source)
+    records = inject_csv_faults(
+        source, target, FaultPlan((FaultSpec(mode, 0.0),), seed=seed)
+    )
+    assert records == []
+    assert source.read_bytes() == target.read_bytes()
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    modes=st.lists(
+        st.sampled_from(_TABLE_MODES), min_size=1, max_size=4, unique=True
+    ),
+    rate=st.floats(min_value=0.0, max_value=0.5),
+    seed=st.integers(min_value=0, max_value=10**6),
+    num_kernels=st.integers(min_value=1, max_value=4),
+    rows_per_kernel=st.integers(min_value=1, max_value=40),
+    with_metrics=st.booleans(),
+)
+def test_repair_output_always_validates(
+    modes, rate, seed, num_kernels, rows_per_kernel, with_metrics
+):
+    """Satellite property: repair() never emits a table violating its own
+    validator, for any composition of fault modes."""
+    table = build_table(num_kernels, rows_per_kernel, with_metrics)
+    plan = FaultPlan(tuple(FaultSpec(m, rate) for m in modes), seed=seed)
+    corrupted, _ = inject_table_faults(table, plan)
+    try:
+        result = repair_table(corrupted)
+    except ProfileError:
+        # Legal terminal outcome: every row was defective.
+        return
+    report = validate_table(result.table)
+    assert report.ok, report.summary()
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    rate=st.floats(min_value=0.0, max_value=0.5),
+    seed=st.integers(min_value=0, max_value=10**6),
+)
+def test_repair_is_idempotent(rate, seed):
+    table = build_table(3, 25, True)
+    plan = FaultPlan(
+        (FaultSpec("duplicate", rate), FaultSpec("nan", rate),
+         FaultSpec("negative", rate)),
+        seed=seed,
+    )
+    corrupted, _ = inject_table_faults(table, plan)
+    once = repair_table(corrupted)
+    twice = repair_table(once.table)
+    assert not twice.changed
+    assert np.array_equal(once.table.insn_count, twice.table.insn_count)

@@ -12,7 +12,6 @@ import numpy as np
 import pytest
 
 from repro.gpu import AMPERE_RTX3080
-from repro.gpu.kernel import KernelTraits
 from repro.gpu.timing import invocation_timing
 from repro.trace.simulator import SimulatorConfig, TraceSimulator
 from repro.trace.tracer import SelectionTracer, TracerConfig
