@@ -5,16 +5,54 @@ and print the rows/series the paper reports. Output goes through ``emit``,
 whose writer is swapped by ``conftest.py`` to bypass pytest's capture so
 ``pytest benchmarks/ --benchmark-only`` shows the regenerated data
 alongside the timings.
+
+The comparison benches (fig3/fig4/fig6/fig8) share one
+:class:`~repro.evaluation.engine.EvaluationEngine`, configured from the
+environment:
+
+* ``SIEVE_BENCH_JOBS`` — worker processes (default 1 = serial);
+* ``SIEVE_BENCH_CACHE_DIR`` — result cache location (default: a fresh
+  per-run temp dir, so fig4/fig6 reuse fig3's results within one run
+  without ever reading stale state from a previous one);
+* ``SIEVE_BENCH_NO_CACHE=1`` — disable the cache entirely (every bench
+  then recomputes from scratch, the pre-engine behaviour).
 """
 
 from __future__ import annotations
 
+import os
+import tempfile
+from pathlib import Path
 from typing import Callable
 
+from repro.evaluation.engine import EngineConfig, EvaluationEngine
+
 #: None = full Table I scale (the default used for reported results).
-SCALE_CAP: int | None = None
+#: ``SIEVE_BENCH_CAP`` overrides for quick smoke runs.
+_cap_env = os.environ.get("SIEVE_BENCH_CAP", "")
+SCALE_CAP: int | None = int(_cap_env) if _cap_env else None
+
+JOBS = int(os.environ.get("SIEVE_BENCH_JOBS", "1"))
+NO_CACHE = os.environ.get("SIEVE_BENCH_NO_CACHE", "") not in ("", "0")
 
 _writer: Callable[[str], None] = print
+_engine: EvaluationEngine | None = None
+
+
+def shared_engine() -> EvaluationEngine:
+    """The evaluation engine every comparison bench routes through."""
+    global _engine
+    if _engine is None:
+        configured = os.environ.get("SIEVE_BENCH_CACHE_DIR")
+        cache_dir = (
+            Path(configured)
+            if configured
+            else Path(tempfile.mkdtemp(prefix="sieve-bench-cache-"))
+        )
+        _engine = EvaluationEngine(
+            EngineConfig(jobs=JOBS, use_cache=not NO_CACHE, cache_dir=cache_dir)
+        )
+    return _engine
 
 
 def set_writer(writer: Callable[[str], None]) -> None:
@@ -33,3 +71,11 @@ def banner(title: str) -> None:
     emit("=" * 78)
     emit(title)
     emit("=" * 78)
+
+
+def engine_summary() -> str:
+    """One-line cache/jobs report for bench footers."""
+    engine = shared_engine()
+    stats = engine.cache_stats
+    cache = stats.summary() if stats is not None else "disabled"
+    return f"engine: jobs={engine.config.jobs}, cache {cache}"

@@ -3,15 +3,17 @@
 from repro.evaluation.experiments import compare_methods, figure3_accuracy
 from repro.evaluation.reporting import format_table, percent
 
-from _common import SCALE_CAP, banner, emit
+from _common import SCALE_CAP, banner, emit, engine_summary, shared_engine
 
 
 def test_fig3_prediction_error(benchmark):
     rows = benchmark.pedantic(
-        compare_methods, kwargs={"max_invocations": SCALE_CAP},
+        compare_methods,
+        kwargs={"max_invocations": SCALE_CAP, "engine": shared_engine()},
         rounds=1, iterations=1,
     )
     banner("Figure 3: prediction error, Sieve vs PKS (Cactus + MLPerf)")
+    emit(engine_summary())
     emit(format_table(
         ["workload", "sieve_error", "pks_error", "sieve_reps", "pks_k"],
         [

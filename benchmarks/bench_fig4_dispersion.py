@@ -3,15 +3,17 @@
 from repro.evaluation.experiments import compare_methods, figure4_dispersion
 from repro.evaluation.reporting import format_table
 
-from _common import SCALE_CAP, banner, emit
+from _common import SCALE_CAP, banner, emit, engine_summary, shared_engine
 
 
 def test_fig4_cycle_dispersion(benchmark):
     rows = benchmark.pedantic(
-        compare_methods, kwargs={"max_invocations": SCALE_CAP},
+        compare_methods,
+        kwargs={"max_invocations": SCALE_CAP, "engine": shared_engine()},
         rounds=1, iterations=1,
     )
     banner("Figure 4: within-cluster cycle CoV (weighted average)")
+    emit(engine_summary())
     emit(format_table(
         ["workload", "sieve_cov", "pks_cov"],
         [(r.workload, f"{r.sieve.cycle_cov:.2f}", f"{r.pks.cycle_cov:.2f}")

@@ -4,15 +4,17 @@ from the mean)."""
 from repro.evaluation.experiments import compare_methods, figure6_speedup
 from repro.evaluation.reporting import format_table, times
 
-from _common import SCALE_CAP, banner, emit
+from _common import SCALE_CAP, banner, emit, engine_summary, shared_engine
 
 
 def test_fig6_simulation_speedup(benchmark):
     rows = benchmark.pedantic(
-        compare_methods, kwargs={"max_invocations": SCALE_CAP},
+        compare_methods,
+        kwargs={"max_invocations": SCALE_CAP, "engine": shared_engine()},
         rounds=1, iterations=1,
     )
     banner("Figure 6: simulation speedup (workload cycles / sample cycles)")
+    emit(engine_summary())
     emit(format_table(
         ["workload", "sieve_speedup", "pks_speedup", "sieve_reps", "pks_reps"],
         [

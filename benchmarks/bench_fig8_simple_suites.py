@@ -4,14 +4,17 @@ CUDA SDK) — both methods are accurate, except PKS on cfd."""
 from repro.evaluation.experiments import figure3_accuracy, figure8_simple_suites
 from repro.evaluation.reporting import format_table, percent
 
-from _common import SCALE_CAP, banner, emit
+from _common import SCALE_CAP, banner, emit, engine_summary, shared_engine
 
 
 def test_fig8_simple_suites(benchmark):
     rows = benchmark.pedantic(
-        figure8_simple_suites, args=(SCALE_CAP,), rounds=1, iterations=1
+        figure8_simple_suites,
+        kwargs={"max_invocations": SCALE_CAP, "engine": shared_engine()},
+        rounds=1, iterations=1,
     )
     banner("Figure 8: prediction error on Parboil / Rodinia / CUDA SDK")
+    emit(engine_summary())
     emit(format_table(
         ["workload", "sieve_error", "pks_error"],
         [(r.workload, percent(r.sieve.error), percent(r.pks.error)) for r in rows],

@@ -1,0 +1,61 @@
+"""Regenerate the golden-figure regression snapshots.
+
+Usage::
+
+    PYTHONPATH=src python scripts/regen_goldens.py
+
+Writes ``tests/evaluation/goldens/*.json``: the Figure 3 accuracy,
+Figure 4 dispersion and Figure 6 speedup aggregate dicts computed at the
+reduced scale the regression suite replays (every challenging workload,
+invocations capped). Rerun this ONLY when a deliberate pipeline change
+moves the regenerated paper numbers; commit the diff alongside the change
+that caused it so the drift is visible in review.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+from repro.evaluation import experiments
+
+#: Reduced-scale parameters shared with tests/evaluation/test_goldens.py.
+GOLDEN_CAP = 1200
+GOLDEN_THETA = 0.4
+
+GOLDENS_DIR = Path(__file__).resolve().parent.parent / "tests/evaluation/goldens"
+
+FIGURES = {
+    "fig3_accuracy": experiments.figure3_accuracy,
+    "fig4_dispersion": experiments.figure4_dispersion,
+    "fig6_speedup": experiments.figure6_speedup,
+}
+
+
+def golden_rows():
+    """The comparison rows every golden aggregates over (serial path)."""
+    return experiments.compare_methods(
+        max_invocations=GOLDEN_CAP, theta=GOLDEN_THETA
+    )
+
+
+def main() -> int:
+    GOLDENS_DIR.mkdir(parents=True, exist_ok=True)
+    rows = golden_rows()
+    for name, aggregate in FIGURES.items():
+        payload = {
+            "figure": name,
+            "cap": GOLDEN_CAP,
+            "theta": GOLDEN_THETA,
+            "workloads": [row.workload for row in rows],
+            "values": aggregate(rows),
+        }
+        path = GOLDENS_DIR / f"{name}.json"
+        path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        print(f"wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

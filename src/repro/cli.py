@@ -18,6 +18,12 @@ import sys
 from repro.core.config import SieveConfig
 from repro.evaluation import experiments
 from repro.evaluation.context import build_context
+from repro.evaluation.engine import (
+    EngineConfig,
+    EvaluationEngine,
+    ResultCache,
+    default_cache_dir,
+)
 from repro.evaluation.reporting import format_table, percent, times
 from repro.evaluation.runner import evaluate_pks, evaluate_sieve
 from repro.robustness import diagnostics
@@ -27,6 +33,10 @@ from repro.utils.errors import ReproError
 #: Commands whose handlers honor --inject-faults.
 FAULT_AWARE_COMMANDS = frozenset({"fig3", "fig8", "sample"})
 
+#: Commands whose handlers route work through the evaluation engine
+#: (and therefore honor --jobs / --no-cache / --cache-dir).
+ENGINE_AWARE_COMMANDS = frozenset({"fig3", "fig8"})
+
 
 def _fault_plan(args) -> FaultPlan | None:
     # main() warns when the command is not fault-aware; here the flag is
@@ -34,6 +44,29 @@ def _fault_plan(args) -> FaultPlan | None:
     if not getattr(args, "inject_faults", None):
         return None
     return parse_fault_plan(args.inject_faults, seed=args.fault_seed)
+
+
+def _engine(args) -> EvaluationEngine:
+    """Build the evaluation engine an engine-aware command will use."""
+    from pathlib import Path
+
+    return EvaluationEngine(
+        EngineConfig(
+            jobs=args.jobs,
+            use_cache=not args.no_cache,
+            cache_dir=Path(args.cache_dir) if args.cache_dir else None,
+        )
+    )
+
+
+def _report_engine(engine: EvaluationEngine) -> None:
+    stats = engine.cache_stats
+    if stats is not None:
+        print(
+            f"[engine] jobs={engine.config.jobs} cache {stats.summary()} "
+            f"({engine.cache.directory})",
+            file=sys.stderr,
+        )
 
 
 def _print_comparison(rows, aggregates_of) -> None:
@@ -86,10 +119,12 @@ def _cmd_fig2(args) -> None:
 
 
 def _cmd_fig3(args) -> None:
+    engine = _engine(args)
     rows = experiments.compare_methods(
-        max_invocations=args.cap, fault_plan=_fault_plan(args)
+        max_invocations=args.cap, fault_plan=_fault_plan(args), engine=engine
     )
     _print_comparison(rows, experiments.figure3_accuracy)
+    _report_engine(engine)
 
 
 def _cmd_fig5(args) -> None:
@@ -117,8 +152,12 @@ def _cmd_fig7(args) -> None:
 
 
 def _cmd_fig8(args) -> None:
-    rows = experiments.figure8_simple_suites(args.cap, fault_plan=_fault_plan(args))
+    engine = _engine(args)
+    rows = experiments.figure8_simple_suites(
+        args.cap, fault_plan=_fault_plan(args), engine=engine
+    )
     _print_comparison(rows, experiments.figure3_accuracy)
+    _report_engine(engine)
 
 
 def _cmd_fig9(args) -> None:
@@ -246,6 +285,23 @@ def _cmd_validate(args) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_cache(args) -> int:
+    """Inspect or clear the on-disk evaluation result cache."""
+    from pathlib import Path
+
+    directory = Path(args.cache_dir) if args.cache_dir else default_cache_dir()
+    cache = ResultCache(directory)
+    if args.cache_command == "clear":
+        removed = cache.clear()
+        print(f"removed {removed} cached results from {directory}")
+        return 0
+    entries = cache.entries()
+    print(f"cache directory : {directory}")
+    print(f"entries         : {len(entries)}")
+    print(f"size            : {cache.size_bytes() / 1e6:.2f} MB")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="sieve-repro",
@@ -256,6 +312,24 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=None,
         help="cap invocations per workload (default: full Table I scale)",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for engine-aware commands (fig3, fig8); "
+        "1 = serial (default)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the on-disk evaluation result cache",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="evaluation result cache location (default: "
+        "$SIEVE_REPRO_CACHE_DIR or ~/.cache/sieve-repro)",
     )
     parser.add_argument(
         "--inject-faults",
@@ -327,6 +401,18 @@ def build_parser() -> argparse.ArgumentParser:
         help="max issues/actions to print (0 = all; default 50)",
     )
     validate.set_defaults(handler=_cmd_validate)
+
+    cache = sub.add_parser(
+        "cache", help="inspect or clear the on-disk evaluation result cache"
+    )
+    cache.add_argument(
+        "cache_command",
+        nargs="?",
+        choices=("stats", "clear"),
+        default="stats",
+        help="stats (default) or clear",
+    )
+    cache.set_defaults(handler=_cmd_cache)
     return parser
 
 
@@ -343,6 +429,12 @@ def main(argv: list[str] | None = None) -> int:
                 "cli",
                 f"--inject-faults is not supported by {args.command!r} and was "
                 f"ignored (supported: {', '.join(sorted(FAULT_AWARE_COMMANDS))})",
+            )
+        if args.jobs != 1 and args.command not in ENGINE_AWARE_COMMANDS:
+            diagnostics.emit(
+                "cli",
+                f"--jobs is not supported by {args.command!r} and was ignored "
+                f"(supported: {', '.join(sorted(ENGINE_AWARE_COMMANDS))})",
             )
         return args.handler(args) or 0
     except BrokenPipeError:

@@ -8,6 +8,14 @@ experiment drivers that regenerate each figure/table.
 
 from repro.evaluation.context import WorkloadContext, build_context
 from repro.evaluation.dispersion import weighted_cycle_cov
+from repro.evaluation.engine import (
+    EngineConfig,
+    EvaluationEngine,
+    EvaluationTask,
+    ResultCache,
+    TaskResult,
+    default_cache_dir,
+)
 from repro.evaluation.metrics import (
     harmonic_mean,
     prediction_error,
@@ -19,6 +27,12 @@ from repro.evaluation.runner import MethodResult, evaluate_pks, evaluate_sieve
 __all__ = [
     "WorkloadContext",
     "build_context",
+    "EngineConfig",
+    "EvaluationEngine",
+    "EvaluationTask",
+    "TaskResult",
+    "ResultCache",
+    "default_cache_dir",
     "prediction_error",
     "simulation_speedup",
     "relative_speedup_error",

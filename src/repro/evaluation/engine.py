@@ -1,0 +1,346 @@
+"""Parallel, cached evaluation engine.
+
+Every figure/table experiment reduces to the same unit of work: build a
+workload context (generate + measure + profile) and run one or both
+samplers on it. That unit is a pure function of (resolved workload spec,
+sampler configs, fault plan, package source), so this module fans units
+out across a process pool and memoizes their results in a content-
+addressed on-disk cache:
+
+* :class:`EvaluationTask` — one picklable, seed-deterministic unit of
+  work, with a :meth:`~EvaluationTask.cache_key` derived via
+  :func:`repro.utils.hashing.stable_hash`;
+* :class:`ResultCache` — the on-disk store (atomic writes, corruption
+  tolerance, hit/miss statistics);
+* :class:`EvaluationEngine` — scheduling: cache probe, process-pool
+  fan-out, graceful degradation to serial execution when the pool dies
+  (reported through :mod:`repro.robustness.diagnostics`).
+
+Determinism contract: every stochastic element downstream of a task
+(workload generation, measurement noise, k-means init, random selection)
+is seeded from string labels via :mod:`repro.utils.seeding`, so
+``jobs=1``, ``jobs=N`` and a cache-warm rerun produce *byte-identical*
+pickled :class:`~repro.evaluation.runner.MethodResult`\\ s. The property
+tests in ``tests/evaluation/test_engine_properties.py`` enforce this.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import tempfile
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from functools import lru_cache
+from pathlib import Path
+from typing import Mapping, Sequence
+
+import repro
+from repro.baselines.pks import PksConfig
+from repro.core.config import SieveConfig
+from repro.evaluation.context import build_context
+from repro.evaluation.runner import MethodResult, evaluate_pks, evaluate_sieve
+from repro.robustness import diagnostics
+from repro.robustness.faults import FaultPlan
+from repro.utils.errors import EngineError
+from repro.utils.hashing import stable_hash, tree_fingerprint
+from repro.utils.validation import require
+from repro.workloads.catalog import spec_for
+
+#: Bump when the cached payload layout changes; old entries become misses.
+CACHE_SCHEMA = 1
+
+#: Sampler names a task may request.
+KNOWN_METHODS = ("sieve", "pks")
+
+
+def default_cache_dir() -> Path:
+    """Resolve the default on-disk cache location.
+
+    ``SIEVE_REPRO_CACHE_DIR`` wins, then ``$XDG_CACHE_HOME/sieve-repro``,
+    then ``~/.cache/sieve-repro``.
+    """
+    env = os.environ.get("SIEVE_REPRO_CACHE_DIR")
+    if env:
+        return Path(env)
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = Path(xdg) if xdg else Path.home() / ".cache"
+    return base / "sieve-repro"
+
+
+@lru_cache(maxsize=1)
+def source_fingerprint() -> str:
+    """Content hash of the installed ``repro`` package source.
+
+    Folded into every cache key so editing any module invalidates stale
+    results even when ``repro.__version__`` is unchanged.
+    """
+    return tree_fingerprint(Path(repro.__file__).resolve().parent)
+
+
+@dataclass(frozen=True)
+class EvaluationTask:
+    """One unit of work: evaluate the requested samplers on one workload.
+
+    Tasks are frozen, hashable and picklable; workers resolve the label
+    through the catalog and rebuild the context from seeds, so shipping a
+    task to another process ships *no* bulk data.
+    """
+
+    label: str
+    max_invocations: int | None = None
+    sieve_config: SieveConfig | None = None
+    pks_config: PksConfig | None = None
+    fault_plan: FaultPlan | None = None
+    methods: tuple[str, ...] = KNOWN_METHODS
+
+    def __post_init__(self) -> None:
+        require(len(self.methods) >= 1, "task must request a method", EngineError)
+        for method in self.methods:
+            require(
+                method in KNOWN_METHODS,
+                f"unknown method {method!r}; known: {KNOWN_METHODS}",
+                EngineError,
+            )
+
+    def cache_key(self) -> str:
+        """Content-addressed identity of this task's result.
+
+        Key material: schema version, package version, package source
+        fingerprint, the *resolved* workload spec (so catalog
+        recalibration invalidates), the invocation cap, both sampler
+        configs, the fault plan and the method list.
+        """
+        return stable_hash(
+            "evaluation-task",
+            CACHE_SCHEMA,
+            repro.__version__,
+            source_fingerprint(),
+            spec_for(self.label),
+            self.max_invocations,
+            self.sieve_config,
+            self.pks_config,
+            self.fault_plan,
+            list(self.methods),
+        )
+
+
+@dataclass(frozen=True)
+class TaskResult:
+    """A task's outcome plus where it came from (computed vs cache)."""
+
+    label: str
+    results: Mapping[str, MethodResult]
+    from_cache: bool = False
+
+    def __getitem__(self, method: str) -> MethodResult:
+        return self.results[method]
+
+
+def run_task(task: EvaluationTask) -> dict[str, MethodResult]:
+    """Execute one task in the current process.
+
+    This is the process-pool worker: module-level so it pickles by
+    reference, and independent of all engine state so serial and parallel
+    execution share one code path.
+    """
+    context = build_context(
+        task.label, task.max_invocations, fault_plan=task.fault_plan
+    )
+    results: dict[str, MethodResult] = {}
+    for method in task.methods:
+        if method == "sieve":
+            results[method] = evaluate_sieve(context, task.sieve_config)
+        else:
+            results[method] = evaluate_pks(context, task.pks_config)
+    return results
+
+
+def _pool_map(jobs: int, tasks: Sequence[EvaluationTask]) -> list[dict]:
+    """Run tasks through a process pool, preserving input order."""
+    with ProcessPoolExecutor(max_workers=jobs) as pool:
+        return list(pool.map(run_task, tasks))
+
+
+@dataclass
+class CacheStats:
+    """Counters for one :class:`ResultCache` instance's lifetime."""
+
+    hits: int = 0
+    misses: int = 0
+    writes: int = 0
+    invalid: int = 0  # corrupt/stale entries dropped and recomputed
+
+    def summary(self) -> str:
+        return (
+            f"{self.hits} hits, {self.misses} misses, "
+            f"{self.writes} writes, {self.invalid} invalid"
+        )
+
+
+class ResultCache:
+    """Content-addressed on-disk store for task results.
+
+    Entries live at ``<dir>/<key[:2]>/<key>.pkl`` (fanned out so huge
+    caches do not create million-entry directories). Writes go through a
+    temp file + ``os.replace`` so a crashed run never leaves a torn
+    entry; unreadable or schema-mismatched entries are treated as misses
+    and deleted, with a diagnostic, never as errors.
+    """
+
+    def __init__(self, directory: Path | None = None):
+        self.directory = Path(directory) if directory else default_cache_dir()
+        self.stats = CacheStats()
+        try:
+            self.directory.mkdir(parents=True, exist_ok=True)
+        except OSError as exc:
+            raise EngineError(
+                f"cannot create cache directory {self.directory}: {exc}"
+            ) from exc
+
+    def path_for(self, key: str) -> Path:
+        return self.directory / key[:2] / f"{key}.pkl"
+
+    def get(self, key: str) -> dict[str, MethodResult] | None:
+        path = self.path_for(key)
+        try:
+            payload = pickle.loads(path.read_bytes())
+        except FileNotFoundError:
+            self.stats.misses += 1
+            return None
+        except Exception as exc:  # torn write, foreign file, pickle drift
+            self._drop_invalid(path, f"unreadable ({type(exc).__name__})")
+            return None
+        if (
+            not isinstance(payload, dict)
+            or payload.get("schema") != CACHE_SCHEMA
+            or payload.get("key") != key
+        ):
+            self._drop_invalid(path, "stale schema or key mismatch")
+            return None
+        self.stats.hits += 1
+        return payload["results"]
+
+    def put(self, key: str, results: dict[str, MethodResult]) -> None:
+        path = self.path_for(key)
+        payload = {"schema": CACHE_SCHEMA, "key": key, "results": results}
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(dir=path.parent, prefix=".tmp-")
+            try:
+                with os.fdopen(fd, "wb") as handle:
+                    pickle.dump(payload, handle, protocol=pickle.HIGHEST_PROTOCOL)
+                os.replace(tmp, path)
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
+        except OSError as exc:
+            # A full or read-only disk must not fail the evaluation.
+            diagnostics.emit(
+                "engine.cache", f"cache write failed for {path.name}: {exc}"
+            )
+            return
+        self.stats.writes += 1
+
+    def _drop_invalid(self, path: Path, reason: str) -> None:
+        self.stats.invalid += 1
+        self.stats.misses += 1
+        diagnostics.emit("engine.cache", f"dropping cache entry {path.name}: {reason}")
+        try:
+            path.unlink()
+        except OSError:
+            pass
+
+    def entries(self) -> list[Path]:
+        """All entry files currently on disk, sorted."""
+        return sorted(self.directory.glob("??/*.pkl"))
+
+    def size_bytes(self) -> int:
+        return sum(path.stat().st_size for path in self.entries())
+
+    def clear(self) -> int:
+        """Delete every entry; returns the number removed."""
+        removed = 0
+        for path in self.entries():
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Tunable parameters of the evaluation engine."""
+
+    jobs: int = 1
+    use_cache: bool = True
+    cache_dir: Path | None = None  # None -> default_cache_dir()
+    #: Re-run remaining work serially when the worker pool dies mid-run
+    #: (OOM-killed worker, interpreter mismatch) instead of failing.
+    serial_fallback: bool = True
+
+    def __post_init__(self) -> None:
+        require(self.jobs >= 1, "jobs must be >= 1", EngineError)
+
+
+class EvaluationEngine:
+    """Schedule evaluation tasks across the cache and a process pool.
+
+    ``run`` returns :class:`TaskResult`\\ s in input order regardless of
+    completion order, cache state or worker count; the serial path
+    (``jobs=1``) and the default ``EngineConfig(jobs=1, use_cache=False)``
+    reproduce the historical single-process behaviour exactly.
+    """
+
+    def __init__(self, config: EngineConfig | None = None):
+        self.config = config or EngineConfig()
+        self.cache = (
+            ResultCache(self.config.cache_dir) if self.config.use_cache else None
+        )
+
+    @property
+    def cache_stats(self) -> CacheStats | None:
+        return self.cache.stats if self.cache is not None else None
+
+    def run(self, tasks: Sequence[EvaluationTask]) -> list[TaskResult]:
+        """Evaluate every task, probing the cache first."""
+        ordered: list[TaskResult | None] = [None] * len(tasks)
+        pending: list[int] = []
+        keys: list[str | None] = [None] * len(tasks)
+        for index, task in enumerate(tasks):
+            if self.cache is not None:
+                keys[index] = task.cache_key()
+                cached = self.cache.get(keys[index])
+                if cached is not None:
+                    ordered[index] = TaskResult(task.label, cached, from_cache=True)
+                    continue
+            pending.append(index)
+        if pending:
+            computed = self._execute([tasks[i] for i in pending])
+            for index, results in zip(pending, computed):
+                ordered[index] = TaskResult(tasks[index].label, results)
+                if self.cache is not None and keys[index] is not None:
+                    self.cache.put(keys[index], results)
+        return [result for result in ordered if result is not None]
+
+    def _execute(self, tasks: Sequence[EvaluationTask]) -> list[dict]:
+        jobs = min(self.config.jobs, len(tasks))
+        if jobs <= 1:
+            return [run_task(task) for task in tasks]
+        try:
+            return _pool_map(jobs, tasks)
+        except (BrokenProcessPool, pickle.PicklingError, OSError) as exc:
+            if not self.config.serial_fallback:
+                raise
+            diagnostics.emit(
+                "engine",
+                f"process pool failed ({type(exc).__name__}: {exc}); "
+                f"degrading to serial execution for {len(tasks)} tasks",
+            )
+            return [run_task(task) for task in tasks]

@@ -15,6 +15,11 @@ import numpy as np
 from repro.baselines.pks import PksConfig
 from repro.core.config import SieveConfig
 from repro.evaluation.context import build_context
+from repro.evaluation.engine import (
+    EngineConfig,
+    EvaluationEngine,
+    EvaluationTask,
+)
 from repro.evaluation.metrics import harmonic_mean, relative_speedup_error
 from repro.evaluation.runner import (
     MethodResult,
@@ -136,25 +141,33 @@ def compare_methods(
     max_invocations: int | None = None,
     theta: float = 0.4,
     fault_plan=None,
+    engine: EvaluationEngine | None = None,
 ) -> list[ComparisonRow]:
     """Evaluate Sieve and PKS on each workload (drives Figures 3, 4, 6).
 
     ``fault_plan`` (a :class:`repro.robustness.faults.FaultPlan`) injects
     deterministic profile/measurement corruption first — the resilience
-    study's entry point.
+    study's entry point. ``engine`` routes the per-workload work through a
+    :class:`repro.evaluation.engine.EvaluationEngine` (process-pool
+    fan-out + on-disk result cache); the default is serial and uncached,
+    which reproduces the historical behaviour exactly.
     """
     labels = labels if labels is not None else _challenging_labels()
-    rows = []
-    for label in labels:
-        context = build_context(label, max_invocations, fault_plan=fault_plan)
-        rows.append(
-            ComparisonRow(
-                workload=label,
-                sieve=evaluate_sieve(context, SieveConfig(theta=theta)),
-                pks=evaluate_pks(context),
-            )
+    if engine is None:
+        engine = EvaluationEngine(EngineConfig(jobs=1, use_cache=False))
+    tasks = [
+        EvaluationTask(
+            label=label,
+            max_invocations=max_invocations,
+            sieve_config=SieveConfig(theta=theta),
+            fault_plan=fault_plan,
         )
-    return rows
+        for label in labels
+    ]
+    return [
+        ComparisonRow(workload=result.label, sieve=result["sieve"], pks=result["pks"])
+        for result in engine.run(tasks)
+    ]
 
 
 def figure3_accuracy(rows: list[ComparisonRow]) -> dict:
@@ -242,10 +255,14 @@ def figure7_profiling(
 
 
 def figure8_simple_suites(
-    max_invocations: int | None = None, fault_plan=None
+    max_invocations: int | None = None,
+    fault_plan=None,
+    engine: EvaluationEngine | None = None,
 ) -> list[ComparisonRow]:
     """Sieve vs PKS on Parboil/Rodinia/CUDA SDK (Figure 8)."""
-    return compare_methods(_simple_labels(), max_invocations, fault_plan=fault_plan)
+    return compare_methods(
+        _simple_labels(), max_invocations, fault_plan=fault_plan, engine=engine
+    )
 
 
 # --------------------------------------------------------------------- #

@@ -114,8 +114,14 @@ def hardware_speedup_between(baseline, other) -> float:
 
 
 def sieve_tier_fractions(context: WorkloadContext, theta: float) -> np.ndarray:
-    """Invocation fractions in Tier-1/2/3 at threshold ``theta`` (Fig. 2)."""
+    """Invocation fractions in Tier-1/2/3 at threshold ``theta`` (Fig. 2).
+
+    Raises :class:`~repro.utils.errors.SelectionError` when the profile
+    holds no invocations at all — a 0/0 here would otherwise surface as
+    silent NaN fractions downstream.
+    """
     from repro.core.tiers import classify_invocations
+    from repro.utils.errors import SelectionError
 
     table = context.sieve_table
     counts = np.zeros(3)
@@ -125,4 +131,10 @@ def sieve_tier_fractions(context: WorkloadContext, theta: float) -> np.ndarray:
             continue
         tier = classify_invocations(table.insn_count[rows], theta).tier
         counts[tier.value - 1] += len(rows)
-    return counts / counts.sum()
+    total = counts.sum()
+    if total == 0:
+        raise SelectionError(
+            f"profile for {context.label!r} holds no invocations; "
+            "tier fractions are undefined"
+        )
+    return counts / total

@@ -51,3 +51,8 @@ class PredictionError(ReproError):
 
 class FaultInjectionError(ReproError):
     """A fault-injection request was malformed (unknown mode, bad rate)."""
+
+
+class EngineError(ReproError):
+    """The parallel evaluation engine was misused (bad jobs count,
+    unknown method name in a task, unusable cache directory)."""

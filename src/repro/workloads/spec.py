@@ -155,6 +155,17 @@ class WorkloadSpec:
         """Fully qualified workload label, e.g. ``cactus/lmc``."""
         return f"{self.suite}/{self.name}"
 
+    def content_hash(self) -> str:
+        """Stable hash over every field (and the nested behaviour).
+
+        The evaluation engine keys its on-disk result cache on this, so
+        recalibrating any catalog knob invalidates cached results for the
+        affected workload without touching the others.
+        """
+        from repro.utils.hashing import stable_hash
+
+        return stable_hash("workload-spec", self)
+
     def scaled(self, max_invocations: int) -> "WorkloadSpec":
         """Return a spec with invocations capped at ``max_invocations``.
 

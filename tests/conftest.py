@@ -2,12 +2,31 @@
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.evaluation.context import WorkloadContext, build_context
 from repro.gpu import AMPERE_RTX3080, HardwareExecutor
 from repro.workloads.generator import WorkloadRun, generate
 from repro.workloads.spec import KernelBehavior, WorkloadSpec
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _isolated_result_cache(tmp_path_factory):
+    """Point the engine's default on-disk cache at a per-run temp dir.
+
+    CLI commands enable the result cache by default; tests must neither
+    read stale entries from nor write into the user's real cache.
+    """
+    path = tmp_path_factory.mktemp("sieve-cache")
+    previous = os.environ.get("SIEVE_REPRO_CACHE_DIR")
+    os.environ["SIEVE_REPRO_CACHE_DIR"] = str(path)
+    yield
+    if previous is None:
+        os.environ.pop("SIEVE_REPRO_CACHE_DIR", None)
+    else:
+        os.environ["SIEVE_REPRO_CACHE_DIR"] = previous
 
 
 def make_spec(**overrides) -> WorkloadSpec:

@@ -80,3 +80,78 @@ def test_cross_architecture_speedups(small_context):
         sieve.selection, "sieve", small_context.golden, turing
     )
     assert predicted == pytest.approx(hardware, rel=0.15)
+
+
+def test_predicted_speedup_method_dispatch(small_context):
+    """"sieve" must route through SievePipeline, everything else to PKS."""
+    from repro.baselines.pks import PksPipeline
+    from repro.core.pipeline import SievePipeline
+
+    turing = small_context.measure_on(TURING_RTX2080TI)
+    golden = small_context.golden
+
+    def expected(pipe, selection):
+        base = pipe.predict(selection, golden).predicted_cycles
+        other = pipe.predict(selection, turing).predicted_cycles
+        return (other / (turing.clock_ghz * 1e9)) / (base / (golden.clock_ghz * 1e9))
+
+    sieve = evaluate_sieve(small_context)
+    via_sieve = predicted_speedup_between(sieve.selection, "sieve", golden, turing)
+    assert via_sieve == pytest.approx(expected(SievePipeline(), sieve.selection))
+
+    pks = evaluate_pks(small_context)
+    via_pks = predicted_speedup_between(pks.selection, "pks", golden, turing)
+    assert via_pks == pytest.approx(expected(PksPipeline(), pks.selection))
+
+
+def test_predicted_speedup_clock_conversion(small_context):
+    """With identical cycle counts, speedup reduces to the clock ratio."""
+    import dataclasses
+
+    golden = small_context.golden
+    sieve = evaluate_sieve(small_context)
+    for factor in (0.5, 2.0):
+        faster = dataclasses.replace(golden, clock_ghz=golden.clock_ghz * factor)
+        predicted = predicted_speedup_between(
+            sieve.selection, "sieve", golden, faster
+        )
+        # same cycles on both sides -> other/base seconds = 1/factor
+        assert predicted == pytest.approx(1.0 / factor)
+
+
+def test_hardware_speedup_is_wall_time_ratio(small_context):
+    import dataclasses
+
+    golden = small_context.golden
+    turing = small_context.measure_on(TURING_RTX2080TI)
+    assert hardware_speedup_between(golden, turing) == pytest.approx(
+        turing.wall_time_seconds / golden.wall_time_seconds
+    )
+    # pure clock change: wall time scales inversely with the clock
+    doubled = dataclasses.replace(golden, clock_ghz=golden.clock_ghz * 2)
+    assert hardware_speedup_between(golden, doubled) == pytest.approx(0.5)
+    assert hardware_speedup_between(doubled, golden) == pytest.approx(2.0)
+
+
+def test_tier_fractions_empty_profile_raises_typed_error():
+    """0/0 tier fractions must be a SelectionError, not silent NaN."""
+    from types import SimpleNamespace
+
+    from repro.profiling.table import ProfileTable
+    from repro.utils.errors import ReproError, SelectionError
+
+    empty = ProfileTable(
+        workload="empty",
+        kernel_names=("k0",),
+        kernel_id=np.array([], dtype=np.int32),
+        invocation_id=np.array([], dtype=np.int64),
+        insn_count=np.array([], dtype=np.int64),
+        cta_size=np.array([], dtype=np.int32),
+        num_ctas=np.array([], dtype=np.int64),
+    )
+    context = SimpleNamespace(sieve_table=empty, label="testsuite/empty")
+    with pytest.raises(SelectionError, match="no invocations"):
+        sieve_tier_fractions(context, theta=0.4)
+    # it participates in the typed hierarchy (and stays a ValueError)
+    assert issubclass(SelectionError, ReproError)
+    assert issubclass(SelectionError, ValueError)

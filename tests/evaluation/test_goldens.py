@@ -1,0 +1,76 @@
+"""Golden-figure regression suite.
+
+Pins the regenerated Figure 3 (accuracy), Figure 4 (dispersion) and
+Figure 6 (speedup) aggregates at reduced scale against committed JSON
+snapshots, on both the serial path and the parallel+cached engine path.
+Any pipeline change that moves the paper numbers fails here first;
+deliberate moves are re-snapshotted with ``scripts/regen_goldens.py``.
+"""
+
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent.parent
+GOLDENS_DIR = Path(__file__).resolve().parent / "goldens"
+
+sys.path.insert(0, str(REPO_ROOT / "scripts"))
+from regen_goldens import FIGURES, GOLDEN_CAP, GOLDEN_THETA, golden_rows  # noqa: E402
+
+#: Results are seed-deterministic; the tolerance only absorbs float
+#: reassociation across BLAS/numpy builds, not algorithmic drift.
+RTOL = 1e-6
+
+FIGURE_NAMES = sorted(FIGURES)
+
+
+@pytest.fixture(scope="module")
+def serial_rows():
+    return golden_rows()
+
+
+@pytest.fixture(scope="module")
+def engine_rows(tmp_path_factory):
+    from repro.evaluation.engine import EngineConfig, EvaluationEngine
+    from repro.evaluation.experiments import compare_methods
+
+    cache = tmp_path_factory.mktemp("golden-cache")
+    kwargs = dict(max_invocations=GOLDEN_CAP, theta=GOLDEN_THETA)
+    engine = EvaluationEngine(EngineConfig(jobs=2, use_cache=True, cache_dir=cache))
+    cold = compare_methods(engine=engine, **kwargs)
+    warm_engine = EvaluationEngine(EngineConfig(jobs=1, cache_dir=cache))
+    warm = compare_methods(engine=warm_engine, **kwargs)
+    assert warm_engine.cache_stats.hits == len(cold)
+    return cold, warm
+
+
+def load_golden(name: str) -> dict:
+    return json.loads((GOLDENS_DIR / f"{name}.json").read_text())
+
+
+@pytest.mark.parametrize("name", FIGURE_NAMES)
+def test_golden_matches_serial_regeneration(name, serial_rows):
+    golden = load_golden(name)
+    assert golden["cap"] == GOLDEN_CAP
+    assert golden["theta"] == GOLDEN_THETA
+    assert golden["workloads"] == [row.workload for row in serial_rows]
+    regenerated = FIGURES[name](serial_rows)
+    assert set(regenerated) == set(golden["values"])
+    for key, value in regenerated.items():
+        assert value == pytest.approx(golden["values"][key], rel=RTOL), (
+            f"{name}.{key} drifted: golden {golden['values'][key]!r}, "
+            f"regenerated {value!r} — if deliberate, rerun "
+            "scripts/regen_goldens.py and commit the diff"
+        )
+
+
+@pytest.mark.parametrize("name", FIGURE_NAMES)
+def test_golden_matches_engine_paths(name, engine_rows):
+    golden = load_golden(name)["values"]
+    cold, warm = engine_rows
+    for rows in (cold, warm):
+        regenerated = FIGURES[name](rows)
+        for key, value in regenerated.items():
+            assert value == pytest.approx(golden[key], rel=RTOL)
