@@ -15,17 +15,25 @@ environment:
   per-run temp dir, so fig4/fig6 reuse fig3's results within one run
   without ever reading stale state from a previous one);
 * ``SIEVE_BENCH_NO_CACHE=1`` — disable the cache entirely (every bench
-  then recomputes from scratch, the pre-engine behaviour).
+  then recomputes from scratch, the pre-engine behaviour);
+* ``SIEVE_BENCH_MANIFEST_DIR`` — when set, comparison benches write a
+  ``BENCH_<figure>.json`` run manifest there (per-stage timings +
+  accuracy rows); the CI ``bench-regression`` job diffs these against
+  the committed ``benchmarks/baselines/`` copies.
 """
 
 from __future__ import annotations
 
 import os
 import tempfile
+import time
 from pathlib import Path
 from typing import Callable
 
 from repro.evaluation.engine import EngineConfig, EvaluationEngine
+from repro.evaluation.reporting import comparison_row_dict
+from repro.observability import manifest as obs_manifest
+from repro.observability import spans as obs_spans
 
 #: None = full Table I scale (the default used for reported results).
 #: ``SIEVE_BENCH_CAP`` overrides for quick smoke runs.
@@ -79,3 +87,45 @@ def engine_summary() -> str:
     stats = engine.cache_stats
     cache = stats.summary() if stats is not None else "disabled"
     return f"engine: jobs={engine.config.jobs}, cache {cache}"
+
+
+def manifest_mark() -> tuple[int, int, float, float]:
+    """Snapshot telemetry cursors before a bench's measured work."""
+    return (
+        obs_spans.mark(),
+        obs_manifest.events_mark(),
+        time.perf_counter(),
+        time.process_time(),
+    )
+
+
+def write_bench_manifest(
+    figure: str,
+    rows,
+    aggregates: dict,
+    mark: tuple[int, int, float, float],
+) -> Path | None:
+    """Write ``BENCH_<figure>.json`` to ``SIEVE_BENCH_MANIFEST_DIR``.
+
+    No-op (returns None) when the env var is unset, so plain bench runs
+    stay artifact-free. ``rows`` are ComparisonRows; the manifest window
+    is everything recorded since ``mark`` (see :func:`manifest_mark`).
+    """
+    directory = os.environ.get("SIEVE_BENCH_MANIFEST_DIR")
+    if not directory:
+        return None
+    since, events_since, wall_start, cpu_start = mark
+    manifest = obs_manifest.collect_manifest(
+        f"bench {figure}",
+        config={"cap": SCALE_CAP, "jobs": JOBS},
+        engine=shared_engine(),
+        workloads=[comparison_row_dict(row) for row in rows],
+        aggregates={key: float(value) for key, value in aggregates.items()},
+        since=since,
+        events_since=events_since,
+        total_wall_s=time.perf_counter() - wall_start,
+        total_cpu_s=time.process_time() - cpu_start,
+    )
+    path = manifest.save(Path(directory) / f"BENCH_{figure}.json")
+    emit(f"manifest: {path}")
+    return path

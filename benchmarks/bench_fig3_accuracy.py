@@ -3,10 +3,19 @@
 from repro.evaluation.experiments import compare_methods, figure3_accuracy
 from repro.evaluation.reporting import format_table, percent
 
-from _common import SCALE_CAP, banner, emit, engine_summary, shared_engine
+from _common import (
+    SCALE_CAP,
+    banner,
+    emit,
+    engine_summary,
+    manifest_mark,
+    shared_engine,
+    write_bench_manifest,
+)
 
 
 def test_fig3_prediction_error(benchmark):
+    mark = manifest_mark()
     rows = benchmark.pedantic(
         compare_methods,
         kwargs={"max_invocations": SCALE_CAP, "engine": shared_engine()},
@@ -32,6 +41,7 @@ def test_fig3_prediction_error(benchmark):
         f"PKS:   avg {percent(aggregate['pks_avg'])}, "
         f"max {percent(aggregate['pks_max'])}   (paper: 16.5% avg, 60.4% max)"
     )
+    write_bench_manifest("fig3", rows, aggregate, mark)
     # Shape: Sieve is substantially more accurate than PKS.
     assert aggregate["sieve_avg"] < 0.05
     assert aggregate["pks_avg"] > 3 * aggregate["sieve_avg"]

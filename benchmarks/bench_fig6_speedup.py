@@ -4,10 +4,19 @@ from the mean)."""
 from repro.evaluation.experiments import compare_methods, figure6_speedup
 from repro.evaluation.reporting import format_table, times
 
-from _common import SCALE_CAP, banner, emit, engine_summary, shared_engine
+from _common import (
+    SCALE_CAP,
+    banner,
+    emit,
+    engine_summary,
+    manifest_mark,
+    shared_engine,
+    write_bench_manifest,
+)
 
 
 def test_fig6_simulation_speedup(benchmark):
+    mark = manifest_mark()
     rows = benchmark.pedantic(
         compare_methods,
         kwargs={"max_invocations": SCALE_CAP, "engine": shared_engine()},
@@ -33,8 +42,14 @@ def test_fig6_simulation_speedup(benchmark):
         f"gst (the paper's outlier): Sieve {times(gst.sieve.speedup)}, "
         f"PKS {times(gst.pks.speedup)} — dominant highly variable kernel"
     )
+    write_bench_manifest("fig6", rows, aggregate, mark)
     # Shape: both methods land in the 100x-10,000x regime, within ~5x of
-    # each other; gst collapses to ~1x.
-    assert 100 < aggregate["sieve_hmean"] < 20_000
-    assert 0.2 < aggregate["sieve_hmean"] / aggregate["pks_hmean"] < 5
+    # each other; gst collapses to ~1x. The magnitudes scale with the
+    # invocation count, so the absolute bands only apply at full Table I
+    # scale; capped runs (SIEVE_BENCH_CAP) keep the scale-free checks.
+    if SCALE_CAP is None:
+        assert 100 < aggregate["sieve_hmean"] < 20_000
+        assert 0.2 < aggregate["sieve_hmean"] / aggregate["pks_hmean"] < 5
+    assert aggregate["sieve_hmean"] > 1
+    assert gst.sieve.speedup == min(r.sieve.speedup for r in rows)
     assert gst.sieve.speedup < 20

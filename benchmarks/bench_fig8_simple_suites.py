@@ -4,10 +4,19 @@ CUDA SDK) — both methods are accurate, except PKS on cfd."""
 from repro.evaluation.experiments import figure3_accuracy, figure8_simple_suites
 from repro.evaluation.reporting import format_table, percent
 
-from _common import SCALE_CAP, banner, emit, engine_summary, shared_engine
+from _common import (
+    SCALE_CAP,
+    banner,
+    emit,
+    engine_summary,
+    manifest_mark,
+    shared_engine,
+    write_bench_manifest,
+)
 
 
 def test_fig8_simple_suites(benchmark):
+    mark = manifest_mark()
     rows = benchmark.pedantic(
         figure8_simple_suites,
         kwargs={"max_invocations": SCALE_CAP, "engine": shared_engine()},
@@ -32,6 +41,7 @@ def test_fig8_simple_suites(benchmark):
     worst_pks = max(rows, key=lambda r: r.pks.error)
     emit(f"worst PKS workload: {worst_pks.workload} "
          f"({percent(worst_pks.pks.error)}); cfd: {percent(cfd.pks.error)}")
+    write_bench_manifest("fig8", rows, aggregate, mark)
     # Shape: both methods accurate on the simple suites; cfd is PKS's worst.
     assert aggregate["sieve_avg"] < 0.02
     assert aggregate["pks_avg"] < 0.10

@@ -1,0 +1,173 @@
+"""Gate benchmark manifests against the committed baselines.
+
+The CI ``bench-regression`` job runs the fig3/fig6 benches with
+``SIEVE_BENCH_MANIFEST_DIR`` set, then runs this script to diff every
+fresh ``BENCH_<figure>.json`` against ``benchmarks/baselines/``: it
+fails (exit 1) on a >25% per-stage or total wall-time slowdown, on any
+accuracy drift beyond float tolerance, or on a missing manifest.
+
+Usage::
+
+    PYTHONPATH=src python scripts/check_bench_regression.py \\
+        --current-dir /tmp/manifests [--figures fig3 fig6]
+    PYTHONPATH=src python scripts/check_bench_regression.py \\
+        --current-dir /tmp/manifests --write-baseline   # refresh baselines
+    PYTHONPATH=src python scripts/check_bench_regression.py --self-test
+
+``--self-test`` proves the gate has teeth: it synthesizes a current run
+that is 2x slower than the baseline and exits 0 only if the checker
+flags it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import sys
+from pathlib import Path
+
+from repro.observability.manifest import RunManifest, diff_manifests
+from repro.observability.report import render_diff
+
+BASELINE_DIR = Path(__file__).resolve().parent.parent / "benchmarks/baselines"
+DEFAULT_FIGURES = ("fig3", "fig6")
+
+
+def _load(directory: Path, figure: str) -> RunManifest | None:
+    path = directory / f"BENCH_{figure}.json"
+    if not path.exists():
+        return None
+    return RunManifest.load(path)
+
+
+def _check(args) -> int:
+    failures = 0
+    for figure in args.figures:
+        baseline = _load(args.baseline_dir, figure)
+        current = _load(args.current_dir, figure)
+        if baseline is None:
+            print(f"[{figure}] no baseline in {args.baseline_dir}; "
+                  f"run with --write-baseline to create one")
+            failures += 1
+            continue
+        if current is None:
+            print(f"[{figure}] no current manifest in {args.current_dir}; "
+                  f"did the bench run with SIEVE_BENCH_MANIFEST_DIR set?")
+            failures += 1
+            continue
+        regressions = diff_manifests(
+            baseline,
+            current,
+            max_slowdown=args.max_slowdown,
+            min_seconds=args.min_seconds,
+        )
+        print(f"=== {figure} ===")
+        print(render_diff(baseline, current, regressions))
+        print()
+        if regressions:
+            failures += 1
+    if failures:
+        print(f"FAIL: {failures} figure(s) regressed or missing")
+        return 1
+    print(f"OK: {len(args.figures)} figure(s) within tolerance")
+    return 0
+
+
+def _write_baseline(args) -> int:
+    args.baseline_dir.mkdir(parents=True, exist_ok=True)
+    written = 0
+    for figure in args.figures:
+        current = _load(args.current_dir, figure)
+        if current is None:
+            print(f"[{figure}] no manifest in {args.current_dir}; skipped")
+            continue
+        path = current.save(args.baseline_dir / f"BENCH_{figure}.json")
+        print(f"wrote {path}")
+        written += 1
+    return 0 if written == len(args.figures) else 1
+
+
+def _slowed(manifest: RunManifest, factor: float) -> RunManifest:
+    """A synthetic manifest whose every wall time is ``factor``x slower."""
+    return dataclasses.replace(
+        manifest,
+        total_wall_s=manifest.total_wall_s * factor,
+        stages=tuple(
+            dataclasses.replace(
+                stage,
+                wall_s=stage.wall_s * factor,
+                self_s=stage.self_s * factor,
+            )
+            for stage in manifest.stages
+        ),
+    )
+
+
+def _self_test(args) -> int:
+    """The gate must flag an injected 2x slowdown on every baseline."""
+    tested = 0
+    for figure in args.figures:
+        baseline = _load(args.baseline_dir, figure)
+        if baseline is None:
+            print(f"[{figure}] no baseline to self-test against")
+            return 1
+        regressions = diff_manifests(
+            baseline,
+            _slowed(baseline, 2.0),
+            max_slowdown=args.max_slowdown,
+            min_seconds=args.min_seconds,
+        )
+        slowdowns = [r for r in regressions if r.kind in ("total-wall", "stage-wall")]
+        if not slowdowns:
+            print(f"[{figure}] SELF-TEST FAILED: 2x slowdown not detected")
+            return 1
+        print(f"[{figure}] self-test OK: 2x slowdown raised "
+              f"{len(slowdowns)} wall-time regression(s)")
+        tested += 1
+    print(f"OK: gate detects slowdowns on {tested} figure(s)")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--baseline-dir", type=Path, default=BASELINE_DIR,
+        help=f"committed baseline manifests (default {BASELINE_DIR})",
+    )
+    parser.add_argument(
+        "--current-dir", type=Path, default=None,
+        help="directory with freshly produced BENCH_<figure>.json files",
+    )
+    parser.add_argument(
+        "--figures", nargs="+", default=list(DEFAULT_FIGURES),
+        help=f"figures to gate (default: {' '.join(DEFAULT_FIGURES)})",
+    )
+    parser.add_argument(
+        "--max-slowdown", type=float, default=1.25,
+        help="wall-time ratio tolerated per stage and total (default 1.25)",
+    )
+    parser.add_argument(
+        "--min-seconds", type=float, default=0.05,
+        help="absolute slowdown floor below which noise is ignored "
+        "(default 0.05s)",
+    )
+    parser.add_argument(
+        "--write-baseline", action="store_true",
+        help="copy current manifests into the baseline dir instead of diffing",
+    )
+    parser.add_argument(
+        "--self-test", action="store_true",
+        help="verify the gate flags a synthetic 2x slowdown of the baseline",
+    )
+    args = parser.parse_args(argv)
+    if args.self_test:
+        return _self_test(args)
+    if args.current_dir is None:
+        parser.error("--current-dir is required unless --self-test")
+    if args.write_baseline:
+        return _write_baseline(args)
+    return _check(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,8 +1,9 @@
-"""Regenerate the golden-figure regression snapshots.
+"""Regenerate (or check) the golden-figure regression snapshots.
 
 Usage::
 
-    PYTHONPATH=src python scripts/regen_goldens.py
+    PYTHONPATH=src python scripts/regen_goldens.py          # rewrite
+    PYTHONPATH=src python scripts/regen_goldens.py --check  # verify only
 
 Writes ``tests/evaluation/goldens/*.json``: the Figure 3 accuracy,
 Figure 4 dispersion and Figure 6 speedup aggregate dicts computed at the
@@ -10,11 +11,17 @@ reduced scale the regression suite replays (every challenging workload,
 invocations capped). Rerun this ONLY when a deliberate pipeline change
 moves the regenerated paper numbers; commit the diff alongside the change
 that caused it so the drift is visible in review.
+
+``--check`` recomputes the goldens and exits 1 with a per-value diff if
+any committed snapshot disagrees — the CI golden-drift guard, catching
+code changes that move fig3/4/6 aggregates without a golden refresh.
 """
 
 from __future__ import annotations
 
+import argparse
 import json
+import math
 import sys
 from pathlib import Path
 
@@ -40,17 +47,74 @@ def golden_rows():
     )
 
 
-def main() -> int:
-    GOLDENS_DIR.mkdir(parents=True, exist_ok=True)
+#: Committed goldens must match recomputation to this relative tolerance
+#: (the pipeline is seed-deterministic; this only absorbs float noise).
+CHECK_RTOL = 1e-6
+
+
+def _payloads() -> dict[str, dict]:
     rows = golden_rows()
-    for name, aggregate in FIGURES.items():
-        payload = {
+    return {
+        name: {
             "figure": name,
             "cap": GOLDEN_CAP,
             "theta": GOLDEN_THETA,
             "workloads": [row.workload for row in rows],
             "values": aggregate(rows),
         }
+        for name, aggregate in FIGURES.items()
+    }
+
+
+def _check(payloads: dict[str, dict]) -> int:
+    drifted = 0
+    for name, fresh in payloads.items():
+        path = GOLDENS_DIR / f"{name}.json"
+        if not path.exists():
+            print(f"[{name}] MISSING: {path} not committed")
+            drifted += 1
+            continue
+        committed = json.loads(path.read_text())
+        problems = []
+        if committed.get("workloads") != fresh["workloads"]:
+            problems.append(
+                f"  workloads: {committed.get('workloads')} != {fresh['workloads']}"
+            )
+        for key, fresh_value in fresh["values"].items():
+            old = committed.get("values", {}).get(key)
+            if old is None or not math.isclose(
+                old, fresh_value, rel_tol=CHECK_RTOL, abs_tol=1e-12
+            ):
+                problems.append(f"  {key}: committed {old!r} != computed {fresh_value!r}")
+        if problems:
+            print(f"[{name}] DRIFTED:")
+            print("\n".join(problems))
+            drifted += 1
+        else:
+            print(f"[{name}] ok")
+    if drifted:
+        print(
+            f"\n{drifted} golden(s) out of date. If the drift is deliberate, "
+            f"rerun 'PYTHONPATH=src python scripts/regen_goldens.py' and "
+            f"commit the diff."
+        )
+        return 1
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="verify committed goldens match recomputation; exit 1 on drift",
+    )
+    args = parser.parse_args(argv)
+    payloads = _payloads()
+    if args.check:
+        return _check(payloads)
+    GOLDENS_DIR.mkdir(parents=True, exist_ok=True)
+    for name, payload in payloads.items():
         path = GOLDENS_DIR / f"{name}.json"
         path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
         print(f"wrote {path}")

@@ -28,6 +28,8 @@ from repro.baselines.pca import PCA
 from repro.core.prediction import PredictionResult
 from repro.core.types import Representative, SampleSelection
 from repro.gpu.hardware import WorkloadMeasurement
+from repro.observability import metrics as obs_metrics
+from repro.observability import span
 from repro.profiling.table import ProfileTable
 from repro.utils.errors import PredictionError, SelectionError
 from repro.utils.seeding import rng_for
@@ -118,6 +120,49 @@ class PksPipeline:
             )
         )
 
+    def _search_clusterings(
+        self, table: ProfileTable, golden: WorkloadMeasurement
+    ) -> tuple[float, int, list[int], list[np.ndarray]]:
+        """PCA-project, cluster for every candidate k, keep the best error."""
+        with span("pks.pca", workload=table.workload):
+            metrics = _sanitized_metrics(table)
+            projected = PCA(self.config.variance_target).fit(metrics).transform(
+                metrics
+            )
+        cycles_by_row = cycles_in_table_order(table, golden)
+        measured_total = float(cycles_by_row.sum())
+        require(
+            measured_total > 0 and np.isfinite(measured_total),
+            f"golden reference for {table.workload!r} measures no cycles; "
+            "PKS cannot choose k without it",
+            SelectionError,
+        )
+
+        best: tuple[float, int, list[int], list[np.ndarray]] | None = None
+        max_k = min(self.config.max_k, len(table))
+        with span("pks.kmeans", workload=table.workload, max_k=max_k):
+            clusterings = BisectingKMeans(
+                max_k,
+                seed_label=f"pks/{table.workload}",
+                max_iterations=self.config.kmeans_iterations,
+                fit_sample_size=self.config.kmeans_fit_sample,
+            ).fit_all(projected)
+        with span("pks.choose_k", workload=table.workload):
+            candidate_ks = [k for k in sorted(clusterings) if k >= 2] or [1]
+            for k in candidate_ks:
+                clustering = clusterings[k]
+                rows, members = self._representative_rows(
+                    table, projected, clustering.labels, clustering.centroids
+                )
+                predicted = self._predicted_cycles(
+                    table, rows, members, cycles_by_row
+                )
+                error = abs(predicted - measured_total) / measured_total
+                if best is None or error < best[0]:
+                    best = (error, k, rows, members)
+        assert best is not None
+        return best
+
     # ------------------------------------------------------------------ #
 
     def select(
@@ -134,40 +179,10 @@ class PksPipeline:
         )
         require(len(table) > 0, "profile table is empty", SelectionError)
 
-        metrics = _sanitized_metrics(table)
-        projected = PCA(self.config.variance_target).fit(metrics).transform(
-            metrics
-        )
-        cycles_by_row = cycles_in_table_order(table, golden)
-        measured_total = float(cycles_by_row.sum())
-        require(
-            measured_total > 0 and np.isfinite(measured_total),
-            f"golden reference for {table.workload!r} measures no cycles; "
-            "PKS cannot choose k without it",
-            SelectionError,
-        )
-
-        best: tuple[float, int, list[int], list[np.ndarray]] | None = None
-        max_k = min(self.config.max_k, len(table))
-        clusterings = BisectingKMeans(
-            max_k,
-            seed_label=f"pks/{table.workload}",
-            max_iterations=self.config.kmeans_iterations,
-            fit_sample_size=self.config.kmeans_fit_sample,
-        ).fit_all(projected)
-        candidate_ks = [k for k in sorted(clusterings) if k >= 2] or [1]
-        for k in candidate_ks:
-            clustering = clusterings[k]
-            rows, members = self._representative_rows(
-                table, projected, clustering.labels, clustering.centroids
-            )
-            predicted = self._predicted_cycles(table, rows, members, cycles_by_row)
-            error = abs(predicted - measured_total) / measured_total
-            if best is None or error < best[0]:
-                best = (error, k, rows, members)
-
-        assert best is not None
+        with span("pks.select", workload=table.workload):
+            best = self._search_clusterings(table, golden)
         _, chosen_k, rows, members = best
+        obs_metrics.observe("pks.chosen_k", chosen_k)
         total_invocations = len(table)
         representatives = tuple(
             Representative(
@@ -203,26 +218,29 @@ class PksPipeline:
         """
         predicted = 0.0
         usable = 0
-        for r in selection.representatives:
-            cycles = _measured_cycles_or_none(r, measurement)
-            if cycles is None:
-                cycles = _kernel_mean_cycles(r.kernel_name, measurement)
+        with span("pks.predict", workload=selection.workload):
+            for r in selection.representatives:
+                cycles = _measured_cycles_or_none(r, measurement)
                 if cycles is None:
+                    cycles = _kernel_mean_cycles(r.kernel_name, measurement)
+                    if cycles is None:
+                        obs_metrics.inc("pks.predict.imputed", reason="unusable")
+                        diagnostics.emit(
+                            "pks.predict",
+                            f"representative {r.group} (kernel "
+                            f"{r.kernel_name!r}) has no measurements at all; "
+                            "its cluster contributes nothing",
+                        )
+                        continue
+                    obs_metrics.inc("pks.predict.imputed", reason="kernel_mean")
                     diagnostics.emit(
                         "pks.predict",
-                        f"representative {r.group} (kernel "
-                        f"{r.kernel_name!r}) has no measurements at all; "
-                        "its cluster contributes nothing",
+                        f"representative {r.group} (kernel {r.kernel_name!r}, "
+                        f"invocation {r.invocation_id}) has no usable "
+                        f"measurement; imputed kernel-mean cycles {cycles:.4g}",
                     )
-                    continue
-                diagnostics.emit(
-                    "pks.predict",
-                    f"representative {r.group} (kernel {r.kernel_name!r}, "
-                    f"invocation {r.invocation_id}) has no usable "
-                    f"measurement; imputed kernel-mean cycles {cycles:.4g}",
-                )
-            predicted += r.group_size * cycles
-            usable += 1
+                predicted += r.group_size * cycles
+                usable += 1
         require(
             usable > 0 and predicted > 0,
             f"workload {selection.workload!r}: no representative has a "

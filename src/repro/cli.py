@@ -24,18 +24,31 @@ from repro.evaluation.engine import (
     ResultCache,
     default_cache_dir,
 )
-from repro.evaluation.reporting import format_table, percent, times
+from repro.evaluation.reporting import (
+    comparison_row_dict,
+    format_table,
+    percent,
+    times,
+)
 from repro.evaluation.runner import evaluate_pks, evaluate_sieve
+from repro.observability import manifest as obs_manifest
+from repro.observability import spans as obs_spans
+from repro.observability.spans import span
 from repro.robustness import diagnostics
 from repro.robustness.faults import FaultPlan, parse_fault_plan
 from repro.utils.errors import ReproError
 
 #: Commands whose handlers honor --inject-faults.
-FAULT_AWARE_COMMANDS = frozenset({"fig3", "fig8", "sample"})
+FAULT_AWARE_COMMANDS = frozenset({"fig3", "fig8", "compare", "sample"})
 
 #: Commands whose handlers route work through the evaluation engine
 #: (and therefore honor --jobs / --no-cache / --cache-dir).
-ENGINE_AWARE_COMMANDS = frozenset({"fig3", "fig8"})
+ENGINE_AWARE_COMMANDS = frozenset({"fig3", "fig8", "compare"})
+
+#: Artifacts the current command deposited for --trace-out: the engine it
+#: ran through and the comparison rows/aggregates it printed. Reset per
+#: ``main()`` invocation; module-level so handlers stay plain functions.
+_trace_artifacts: dict = {}
 
 
 def _fault_plan(args) -> FaultPlan | None:
@@ -50,13 +63,15 @@ def _engine(args) -> EvaluationEngine:
     """Build the evaluation engine an engine-aware command will use."""
     from pathlib import Path
 
-    return EvaluationEngine(
+    engine = EvaluationEngine(
         EngineConfig(
             jobs=args.jobs,
             use_cache=not args.no_cache,
             cache_dir=Path(args.cache_dir) if args.cache_dir else None,
         )
     )
+    _trace_artifacts["engine"] = engine
+    return engine
 
 
 def _report_engine(engine: EvaluationEngine) -> None:
@@ -70,6 +85,9 @@ def _report_engine(engine: EvaluationEngine) -> None:
 
 
 def _print_comparison(rows, aggregates_of) -> None:
+    aggregates = aggregates_of(rows)
+    _trace_artifacts["workloads"] = [comparison_row_dict(row) for row in rows]
+    _trace_artifacts["aggregates"] = {k: float(v) for k, v in aggregates.items()}
     table_rows = [
         (
             row.workload,
@@ -89,7 +107,7 @@ def _print_comparison(rows, aggregates_of) -> None:
             table_rows,
         )
     )
-    for name, value in aggregates_of(rows).items():
+    for name, value in aggregates.items():
         print(f"{name}: {value:.4g}")
 
 
@@ -285,6 +303,39 @@ def _cmd_validate(args) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_compare(args) -> None:
+    """Sieve-vs-PKS scorecard on chosen workloads (fig3 on a sub-list)."""
+    engine = _engine(args)
+    rows = experiments.compare_methods(
+        labels=args.workloads or None,
+        max_invocations=args.cap,
+        theta=args.theta,
+        fault_plan=_fault_plan(args),
+        engine=engine,
+    )
+    _print_comparison(rows, experiments.figure3_accuracy)
+    _report_engine(engine)
+
+
+def _cmd_report(args) -> int:
+    """Render run manifests; diff exactly two and gate on regressions."""
+    from repro.observability.manifest import RunManifest, diff_manifests
+    from repro.observability.report import render_diff, render_manifest
+
+    manifests = [RunManifest.load(path) for path in args.manifests]
+    if len(manifests) == 2:
+        regressions = diff_manifests(
+            manifests[0], manifests[1], max_slowdown=args.max_slowdown
+        )
+        print(render_diff(manifests[0], manifests[1], regressions))
+        return 1 if regressions else 0
+    for index, manifest in enumerate(manifests):
+        if index:
+            print()
+        print(render_manifest(manifest))
+    return 0
+
+
 def _cmd_cache(args) -> int:
     """Inspect or clear the on-disk evaluation result cache."""
     from pathlib import Path
@@ -350,6 +401,13 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="suppress degraded-path diagnostics on stderr",
     )
+    parser.add_argument(
+        "--trace-out",
+        metavar="PATH",
+        default=None,
+        help="write a run manifest (per-stage timings, accuracy rows, "
+        "cache stats) to PATH as JSON; render it with 'sieve-repro report'",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
     commands = {
         "table1": _cmd_table1,
@@ -368,6 +426,33 @@ def build_parser() -> argparse.ArgumentParser:
     sample.add_argument("workload")
     sample.add_argument("--theta", type=float, default=0.4)
     sample.set_defaults(handler=_cmd_sample)
+
+    compare = sub.add_parser(
+        "compare",
+        help="Sieve-vs-PKS scorecard on chosen workloads "
+        "(default: the challenging suites, i.e. fig3)",
+    )
+    compare.add_argument(
+        "workloads", nargs="*",
+        help="workload labels (default: all challenging workloads)",
+    )
+    compare.add_argument("--theta", type=float, default=0.4)
+    compare.set_defaults(handler=_cmd_compare)
+
+    report = sub.add_parser(
+        "report",
+        help="render run manifests; with exactly two, diff them and "
+        "exit 1 on regressions",
+    )
+    report.add_argument(
+        "manifests", nargs="+",
+        help="manifest JSON file(s); two = baseline then current",
+    )
+    report.add_argument(
+        "--max-slowdown", type=float, default=1.25,
+        help="per-stage wall-time ratio tolerated when diffing (default 1.25)",
+    )
+    report.set_defaults(handler=_cmd_report)
 
     trace = sub.add_parser(
         "trace", help="write trace files for a workload's Sieve selection"
@@ -416,6 +501,34 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _trace_config(args) -> dict:
+    """The JSON-able slice of parsed args worth pinning in a manifest."""
+    config = {"cap": args.cap, "jobs": args.jobs, "cache": not args.no_cache}
+    for key in ("theta", "workload", "workloads", "inject_faults", "fault_seed"):
+        value = getattr(args, key, None)
+        if value:
+            config[key] = value
+    return config
+
+
+def _write_manifest(args, captured: list[dict]) -> None:
+    from datetime import datetime, timezone
+
+    manifest = obs_manifest.collect_manifest(
+        f"sieve-repro {args.command}",
+        config=_trace_config(args),
+        engine=_trace_artifacts.get("engine"),
+        workloads=_trace_artifacts.get("workloads", ()),
+        aggregates=_trace_artifacts.get("aggregates"),
+        diagnostics=captured,
+        since=_trace_artifacts["spans_mark"],
+        events_since=_trace_artifacts["events_mark"],
+        created=datetime.now(timezone.utc).isoformat(timespec="seconds"),
+    )
+    path = manifest.save(args.trace_out)
+    print(f"[trace] manifest written to {path}", file=sys.stderr)
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     unsubscribe = None
@@ -423,6 +536,19 @@ def main(argv: list[str] | None = None) -> int:
         unsubscribe = diagnostics.subscribe(
             lambda record: print(str(record), file=sys.stderr)
         )
+    captured: list[dict] = []
+    capture_unsubscribe = diagnostics.subscribe(
+        lambda record: captured.append(
+            {
+                "severity": record.severity,
+                "source": record.source,
+                "message": record.message,
+            }
+        )
+    )
+    _trace_artifacts.clear()
+    _trace_artifacts["spans_mark"] = obs_spans.mark()
+    _trace_artifacts["events_mark"] = obs_manifest.events_mark()
     try:
         if args.inject_faults and args.command not in FAULT_AWARE_COMMANDS:
             diagnostics.emit(
@@ -436,7 +562,11 @@ def main(argv: list[str] | None = None) -> int:
                 f"--jobs is not supported by {args.command!r} and was ignored "
                 f"(supported: {', '.join(sorted(ENGINE_AWARE_COMMANDS))})",
             )
-        return args.handler(args) or 0
+        with span(f"cli.{args.command}"):
+            exit_code = args.handler(args) or 0
+        if args.trace_out:
+            _write_manifest(args, captured)
+        return exit_code
     except BrokenPipeError:
         # Output piped into a pager/head that closed early — not an error.
         return 0
@@ -445,6 +575,7 @@ def main(argv: list[str] | None = None) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     finally:
+        capture_unsubscribe()
         if unsubscribe is not None:
             unsubscribe()
 

@@ -16,6 +16,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.observability import metrics, span
 from repro.utils.errors import SelectionError
 from repro.utils.stats import coefficient_of_variation
 from repro.utils.validation import require
@@ -142,15 +143,18 @@ def kde_strata(
             kde = GaussianKDE1D.fit(fit_values, bandwidth_scale)
             boundaries = kde.valley_points(grid_points)
             parts = _split_by_boundaries(log_values[indices], boundaries)
+            metrics.inc("sieve.kde.fits")
             if len(parts) > 1:
                 groups = [indices[part] for part in parts]
         if not groups:
+            metrics.inc("sieve.kde.median_splits")
             groups = _median_split(log_values, indices)
         refined: list[np.ndarray] = []
         for group in groups:
             refined.extend(refine(group, allow_kde=len(group) < len(indices)))
         return refined
 
-    strata = refine(np.arange(len(insn_count)), allow_kde=True)
-    strata.sort(key=lambda idx: float(insn_count[idx].mean()))
-    return strata
+    with span("sieve.kde", samples=len(insn_count)):
+        strata = refine(np.arange(len(insn_count)), allow_kde=True)
+        strata.sort(key=lambda idx: float(insn_count[idx].mean()))
+        return strata

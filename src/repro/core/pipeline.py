@@ -26,6 +26,7 @@ from repro.core.stratify import Stratum, stratify_table
 from repro.core.types import Representative, SampleSelection
 from repro.core.weights import stratum_weights
 from repro.gpu.hardware import WorkloadMeasurement
+from repro.observability import metrics, span
 from repro.profiling.table import ProfileTable
 from repro.utils.errors import PredictionError, SelectionError
 from repro.utils.validation import require
@@ -90,19 +91,23 @@ class SievePipeline:
         )
         weights = stratum_weights(strata)
         representatives = []
-        for stratum, weight in zip(strata, weights):
-            row = select_representative_row(table, stratum, self.config.selection_policy)
-            representatives.append(
-                Representative(
-                    kernel_name=stratum.kernel_name,
-                    kernel_id=stratum.kernel_id,
-                    invocation_id=int(table.invocation_id[row]),
-                    row=row,
-                    weight=float(weight),
-                    group=stratum.label,
-                    group_size=stratum.size,
+        with span("sieve.selection", workload=table.workload, strata=len(strata)):
+            for stratum, weight in zip(strata, weights):
+                row = select_representative_row(
+                    table, stratum, self.config.selection_policy
                 )
-            )
+                representatives.append(
+                    Representative(
+                        kernel_name=stratum.kernel_name,
+                        kernel_id=stratum.kernel_id,
+                        invocation_id=int(table.invocation_id[row]),
+                        row=row,
+                        weight=float(weight),
+                        group=stratum.label,
+                        group_size=stratum.size,
+                    )
+                )
+        metrics.inc("sieve.representatives", len(representatives))
         return SieveSelection(
             workload=table.workload,
             method=METHOD_NAME,
@@ -125,55 +130,60 @@ class SievePipeline:
         only a measurement with *no* usable invocation at all raises
         :class:`PredictionError`.
         """
-        reps = selection.representatives
-        ipc = np.empty(len(reps), dtype=np.float64)
-        missing: list[int] = []
-        for i, rep in enumerate(reps):
-            value = measured_ipc_or_none(rep, measurement)
-            if value is None:
-                value = kernel_mean_ipc(rep.kernel_name, measurement)
-                if value is not None:
+        with span("sieve.predict", workload=selection.workload):
+            reps = selection.representatives
+            ipc = np.empty(len(reps), dtype=np.float64)
+            missing: list[int] = []
+            for i, rep in enumerate(reps):
+                value = measured_ipc_or_none(rep, measurement)
+                if value is None:
+                    value = kernel_mean_ipc(rep.kernel_name, measurement)
+                    if value is not None:
+                        metrics.inc("sieve.predict.imputed", reason="kernel_mean")
+                        diagnostics.emit(
+                            "sieve.predict",
+                            f"representative {rep.group} (kernel "
+                            f"{rep.kernel_name!r}, invocation "
+                            f"{rep.invocation_id}) has no usable measurement; "
+                            f"imputed kernel-mean IPC {value:.4g}",
+                        )
+                    else:
+                        missing.append(i)
+                        continue
+                ipc[i] = value
+
+            if missing:
+                usable = [i for i in range(len(reps)) if i not in set(missing)]
+                if not usable:
+                    raise PredictionError(
+                        f"workload {selection.workload!r}: no representative has "
+                        "a usable measurement to predict from"
+                    )
+                fallback = float(ipc[usable].mean())
+                for i in missing:
+                    ipc[i] = fallback
+                    metrics.inc("sieve.predict.imputed", reason="workload_mean")
                     diagnostics.emit(
                         "sieve.predict",
-                        f"representative {rep.group} (kernel "
-                        f"{rep.kernel_name!r}, invocation "
-                        f"{rep.invocation_id}) has no usable measurement; "
-                        f"imputed kernel-mean IPC {value:.4g}",
+                        f"representative {reps[i].group} (kernel "
+                        f"{reps[i].kernel_name!r}) has no measurements at all; "
+                        f"imputed workload-mean IPC {fallback:.4g}",
                     )
-                else:
-                    missing.append(i)
-                    continue
-            ipc[i] = value
 
-        if missing:
-            usable = [i for i in range(len(reps)) if i not in set(missing)]
-            if not usable:
-                raise PredictionError(
-                    f"workload {selection.workload!r}: no representative has "
-                    "a usable measurement to predict from"
-                )
-            fallback = float(ipc[usable].mean())
-            for i in missing:
-                ipc[i] = fallback
+            weights = np.array([r.weight for r in reps], dtype=np.float64)
+            if not np.isfinite(weights).all() or weights.sum() <= 0:
                 diagnostics.emit(
                     "sieve.predict",
-                    f"representative {reps[i].group} (kernel "
-                    f"{reps[i].kernel_name!r}) has no measurements at all; "
-                    f"imputed workload-mean IPC {fallback:.4g}",
+                    "degenerate representative weights; falling back to uniform",
                 )
-
-        weights = np.array([r.weight for r in reps], dtype=np.float64)
-        if not np.isfinite(weights).all() or weights.sum() <= 0:
-            diagnostics.emit(
-                "sieve.predict",
-                "degenerate representative weights; falling back to uniform",
+                weights = np.full(len(reps), 1.0 / len(reps))
+            predicted_ipc = predict_ipc(ipc, weights)
+            return PredictionResult(
+                workload=selection.workload,
+                method=selection.method,
+                predicted_cycles=predict_cycles(
+                    selection.total_instructions, predicted_ipc
+                ),
+                predicted_ipc=predicted_ipc,
+                num_representatives=len(reps),
             )
-            weights = np.full(len(reps), 1.0 / len(reps))
-        predicted_ipc = predict_ipc(ipc, weights)
-        return PredictionResult(
-            workload=selection.workload,
-            method=selection.method,
-            predicted_cycles=predict_cycles(selection.total_instructions, predicted_ipc),
-            predicted_ipc=predicted_ipc,
-            num_representatives=len(reps),
-        )

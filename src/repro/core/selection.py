@@ -14,6 +14,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.stratify import Stratum
+from repro.observability import metrics
 from repro.profiling.table import ProfileTable
 from repro.utils.errors import SelectionError
 from repro.utils.seeding import rng_for
@@ -46,6 +47,7 @@ def select_representative_row(
     Rows within a stratum are stored chronologically, so "first" selections
     are simply the smallest row index among candidates.
     """
+    metrics.inc("sieve.selection.rows", policy=policy)
     if stratum.tier is Tier.TIER1 or policy == "first":
         return int(stratum.rows[0])
     if policy == "dominant_cta":

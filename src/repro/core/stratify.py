@@ -16,6 +16,7 @@ import repro.robustness.diagnostics as diagnostics
 from repro.core.config import SieveConfig
 from repro.core.kde import kde_strata
 from repro.core.tiers import classify_invocations
+from repro.observability import metrics, span
 from repro.profiling.table import ProfileTable
 from repro.utils.stats import coefficient_of_variation
 from repro.workloads.spec import Tier
@@ -49,46 +50,51 @@ def stratify_table(table: ProfileTable, config: SieveConfig) -> list[Stratum]:
     by ascending instruction count within a kernel).
     """
     strata: list[Stratum] = []
-    for kernel_id in range(table.num_kernels):
-        rows = table.rows_for_kernel(kernel_id)
-        if len(rows) == 0:
-            continue
-        insn = table.insn_count[rows]
-        # Graceful degradation: non-positive instruction counts (dropped
-        # or corrupted counters) would blow up the log-domain KDE and the
-        # CoV. Clamp them to 1 for stratification purposes and say so;
-        # repro.robustness.validate.repair_table is the lossless fix.
-        bad = insn <= 0
-        if bad.any():
-            insn = np.where(bad, 1, insn)
-            diagnostics.emit(
-                "stratify",
-                f"kernel {table.kernel_names[kernel_id]!r}: clamped "
-                f"{int(bad.sum())} non-positive insn counts to 1",
-            )
-        classification = classify_invocations(insn, config.theta)
-        if classification.tier in (Tier.TIER1, Tier.TIER2):
-            groups = [np.arange(len(rows))]
-        else:
-            groups = kde_strata(
-                insn,
-                config.theta,
-                grid_points=config.kde_grid_points,
-                bandwidth_scale=config.kde_bandwidth_scale,
-            )
-        for index, group in enumerate(groups):
-            order = np.sort(group)
-            member_rows = rows[order]
-            member_insn = insn[order]  # clamped view, keeps totals positive
-            strata.append(
-                Stratum(
-                    kernel_id=kernel_id,
-                    kernel_name=table.kernel_names[kernel_id],
-                    tier=classification.tier,
-                    index=index,
-                    rows=member_rows,
-                    insn_total=int(member_insn.sum()),
-                    insn_cov=coefficient_of_variation(member_insn),
+    with span("sieve.stratify", workload=table.workload, kernels=table.num_kernels):
+        for kernel_id in range(table.num_kernels):
+            rows = table.rows_for_kernel(kernel_id)
+            if len(rows) == 0:
+                continue
+            insn = table.insn_count[rows]
+            # Graceful degradation: non-positive instruction counts (dropped
+            # or corrupted counters) would blow up the log-domain KDE and the
+            # CoV. Clamp them to 1 for stratification purposes and say so;
+            # repro.robustness.validate.repair_table is the lossless fix.
+            bad = insn <= 0
+            if bad.any():
+                insn = np.where(bad, 1, insn)
+                metrics.inc("sieve.stratify.clamped_insn", int(bad.sum()))
+                diagnostics.emit(
+                    "stratify",
+                    f"kernel {table.kernel_names[kernel_id]!r}: clamped "
+                    f"{int(bad.sum())} non-positive insn counts to 1",
                 )
-            )
+            classification = classify_invocations(insn, config.theta)
+            if classification.tier in (Tier.TIER1, Tier.TIER2):
+                groups = [np.arange(len(rows))]
+            else:
+                groups = kde_strata(
+                    insn,
+                    config.theta,
+                    grid_points=config.kde_grid_points,
+                    bandwidth_scale=config.kde_bandwidth_scale,
+                )
+            metrics.inc("sieve.stratify.kernels", tier=classification.tier.name)
+            for index, group in enumerate(groups):
+                order = np.sort(group)
+                member_rows = rows[order]
+                member_insn = insn[order]  # clamped view, keeps totals positive
+                metrics.observe("sieve.stratify.stratum_size", len(member_rows))
+                strata.append(
+                    Stratum(
+                        kernel_id=kernel_id,
+                        kernel_name=table.kernel_names[kernel_id],
+                        tier=classification.tier,
+                        index=index,
+                        rows=member_rows,
+                        insn_total=int(member_insn.sum()),
+                        insn_cov=coefficient_of_variation(member_insn),
+                    )
+                )
+    metrics.inc("sieve.stratify.strata", len(strata))
     return strata

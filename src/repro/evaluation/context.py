@@ -12,6 +12,7 @@ from functools import lru_cache
 
 from repro.gpu.arch import AMPERE_RTX3080, TURING_RTX2080TI, GpuArchitecture
 from repro.gpu.hardware import HardwareExecutor, WorkloadMeasurement
+from repro.observability import metrics, span
 from repro.profiling.cost import ProfilingCost
 from repro.profiling.nsight import NsightComputeProfiler
 from repro.profiling.nvbit import NVBitProfiler
@@ -62,20 +63,28 @@ def _cached_context(
     fault_plan: FaultPlan | None,
 ):
     arch = {a.name: a for a in (AMPERE_RTX3080, TURING_RTX2080TI)}[arch_name]
-    run = generate(spec_for(label), max_invocations=max_invocations)
-    golden = HardwareExecutor(arch).measure(run)
-    sieve_table, sieve_cost = NVBitProfiler(arch).profile(run)
-    pks_table, pks_cost = NsightComputeProfiler(arch).profile(run)
-    clean_golden = None
-    if fault_plan is not None:
-        # Corrupt what the samplers *see* (profiles + golden reference);
-        # the workload itself stays pristine, mirroring a dirty profiling
-        # run over a healthy application. Accuracy is still judged against
-        # the clean reference (``WorkloadContext.truth``).
-        clean_golden = golden
-        sieve_table, _ = inject_table_faults(sieve_table, fault_plan)
-        pks_table, _ = inject_table_faults(pks_table, fault_plan)
-        golden, _ = inject_measurement_faults(golden, fault_plan)
+    with span("context.build", workload=label, arch=arch_name):
+        with span("context.generate", workload=label):
+            run = generate(spec_for(label), max_invocations=max_invocations)
+        with span("context.measure", workload=label):
+            golden = HardwareExecutor(arch).measure(run)
+        with span("context.profile.nvbit", workload=label):
+            sieve_table, sieve_cost = NVBitProfiler(arch).profile(run)
+        with span("context.profile.nsight", workload=label):
+            pks_table, pks_cost = NsightComputeProfiler(arch).profile(run)
+        clean_golden = None
+        if fault_plan is not None:
+            # Corrupt what the samplers *see* (profiles + golden reference);
+            # the workload itself stays pristine, mirroring a dirty profiling
+            # run over a healthy application. Accuracy is still judged against
+            # the clean reference (``WorkloadContext.truth``).
+            clean_golden = golden
+            with span("context.inject_faults", workload=label):
+                sieve_table, _ = inject_table_faults(sieve_table, fault_plan)
+                pks_table, _ = inject_table_faults(pks_table, fault_plan)
+                golden, _ = inject_measurement_faults(golden, fault_plan)
+        metrics.inc("context.builds")
+        metrics.observe("context.invocations", run.num_invocations)
     return WorkloadContext(
         run=run,
         golden=golden,

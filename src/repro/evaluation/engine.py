@@ -41,6 +41,10 @@ from repro.baselines.pks import PksConfig
 from repro.core.config import SieveConfig
 from repro.evaluation.context import build_context
 from repro.evaluation.runner import MethodResult, evaluate_pks, evaluate_sieve
+from repro.observability import manifest as obs_manifest
+from repro.observability import metrics, spans
+from repro.observability import state as obs_state
+from repro.observability.spans import span
 from repro.robustness import diagnostics
 from repro.robustness.faults import FaultPlan
 from repro.utils.errors import EngineError
@@ -145,22 +149,59 @@ def run_task(task: EvaluationTask) -> dict[str, MethodResult]:
     reference, and independent of all engine state so serial and parallel
     execution share one code path.
     """
-    context = build_context(
-        task.label, task.max_invocations, fault_plan=task.fault_plan
-    )
-    results: dict[str, MethodResult] = {}
-    for method in task.methods:
-        if method == "sieve":
-            results[method] = evaluate_sieve(context, task.sieve_config)
-        else:
-            results[method] = evaluate_pks(context, task.pks_config)
-    return results
+    with span("engine.task", workload=task.label):
+        context = build_context(
+            task.label, task.max_invocations, fault_plan=task.fault_plan
+        )
+        results: dict[str, MethodResult] = {}
+        for method in task.methods:
+            if method == "sieve":
+                results[method] = evaluate_sieve(context, task.sieve_config)
+            else:
+                results[method] = evaluate_pks(context, task.pks_config)
+        return results
+
+
+def run_task_with_telemetry(
+    task: EvaluationTask,
+) -> tuple[dict[str, MethodResult], tuple, dict]:
+    """Pool worker: run a task and ship its telemetry back to the parent.
+
+    The worker's span records and metrics registry are reset at task
+    start (the fork inherited the parent's — counting that twice would
+    corrupt the merge), so the returned snapshot is exactly this task's
+    delta. The parent adopts spans under its fan-out span and merges
+    metric snapshots in task input order, which keeps the merged
+    registry byte-equal to a serial run's.
+    """
+    spans.reset()
+    metrics.get_registry().reset()
+    results = run_task(task)
+    return results, spans.records(), metrics.get_registry().snapshot()
 
 
 def _pool_map(jobs: int, tasks: Sequence[EvaluationTask]) -> list[dict]:
-    """Run tasks through a process pool, preserving input order."""
+    """Run tasks through a process pool, preserving input order.
+
+    When observability is enabled, workers return their telemetry along
+    with the results; spans are grafted under the live ``engine.pool``
+    span and metric snapshots merge into the parent registry here, in
+    input order (``pool.map`` preserves it), so parallel aggregation is
+    deterministic.
+    """
     with ProcessPoolExecutor(max_workers=jobs) as pool:
-        return list(pool.map(run_task, tasks))
+        if not obs_state.enabled():
+            return list(pool.map(run_task, tasks))
+        with span("engine.pool", jobs=jobs, tasks=len(tasks)) as pool_span:
+            results = []
+            registry = metrics.get_registry()
+            for task_results, worker_spans, snapshot in pool.map(
+                run_task_with_telemetry, tasks
+            ):
+                spans.adopt(worker_spans, parent_id=pool_span.span_id, proc="worker")
+                registry.merge(snapshot)
+                results.append(task_results)
+            return results
 
 
 @dataclass
@@ -208,18 +249,20 @@ class ResultCache:
             payload = pickle.loads(path.read_bytes())
         except FileNotFoundError:
             self.stats.misses += 1
+            metrics.inc("engine.cache.miss", reason="absent")
             return None
         except Exception as exc:  # torn write, foreign file, pickle drift
-            self._drop_invalid(path, f"unreadable ({type(exc).__name__})")
+            self._drop_invalid(path, f"unreadable ({type(exc).__name__})", "unreadable")
             return None
         if (
             not isinstance(payload, dict)
             or payload.get("schema") != CACHE_SCHEMA
             or payload.get("key") != key
         ):
-            self._drop_invalid(path, "stale schema or key mismatch")
+            self._drop_invalid(path, "stale schema or key mismatch", "stale")
             return None
         self.stats.hits += 1
+        metrics.inc("engine.cache.hit")
         return payload["results"]
 
     def put(self, key: str, results: dict[str, MethodResult]) -> None:
@@ -246,9 +289,10 @@ class ResultCache:
             return
         self.stats.writes += 1
 
-    def _drop_invalid(self, path: Path, reason: str) -> None:
+    def _drop_invalid(self, path: Path, reason: str, reason_label: str) -> None:
         self.stats.invalid += 1
         self.stats.misses += 1
+        metrics.inc("engine.cache.miss", reason=reason_label)
         diagnostics.emit("engine.cache", f"dropping cache entry {path.name}: {reason}")
         try:
             path.unlink()
@@ -310,24 +354,28 @@ class EvaluationEngine:
 
     def run(self, tasks: Sequence[EvaluationTask]) -> list[TaskResult]:
         """Evaluate every task, probing the cache first."""
-        ordered: list[TaskResult | None] = [None] * len(tasks)
-        pending: list[int] = []
-        keys: list[str | None] = [None] * len(tasks)
-        for index, task in enumerate(tasks):
-            if self.cache is not None:
-                keys[index] = task.cache_key()
-                cached = self.cache.get(keys[index])
-                if cached is not None:
-                    ordered[index] = TaskResult(task.label, cached, from_cache=True)
-                    continue
-            pending.append(index)
-        if pending:
-            computed = self._execute([tasks[i] for i in pending])
-            for index, results in zip(pending, computed):
-                ordered[index] = TaskResult(tasks[index].label, results)
-                if self.cache is not None and keys[index] is not None:
-                    self.cache.put(keys[index], results)
-        return [result for result in ordered if result is not None]
+        with span("engine.run", tasks=len(tasks)):
+            ordered: list[TaskResult | None] = [None] * len(tasks)
+            pending: list[int] = []
+            keys: list[str | None] = [None] * len(tasks)
+            with span("engine.cache.probe", tasks=len(tasks)):
+                for index, task in enumerate(tasks):
+                    if self.cache is not None:
+                        keys[index] = task.cache_key()
+                        cached = self.cache.get(keys[index])
+                        if cached is not None:
+                            ordered[index] = TaskResult(
+                                task.label, cached, from_cache=True
+                            )
+                            continue
+                    pending.append(index)
+            if pending:
+                computed = self._execute([tasks[i] for i in pending])
+                for index, results in zip(pending, computed):
+                    ordered[index] = TaskResult(tasks[index].label, results)
+                    if self.cache is not None and keys[index] is not None:
+                        self.cache.put(keys[index], results)
+            return [result for result in ordered if result is not None]
 
     def _execute(self, tasks: Sequence[EvaluationTask]) -> list[dict]:
         jobs = min(self.config.jobs, len(tasks))
@@ -338,9 +386,17 @@ class EvaluationEngine:
         except (BrokenProcessPool, pickle.PicklingError, OSError) as exc:
             if not self.config.serial_fallback:
                 raise
+            obs_manifest.record_event(
+                "engine.pool_failure",
+                exception=repr(exc),
+                jobs=jobs,
+                tasks=len(tasks),
+            )
+            metrics.inc("engine.pool.failures")
             diagnostics.emit(
                 "engine",
-                f"process pool failed ({type(exc).__name__}: {exc}); "
+                f"process pool failed ({exc!r}); "
                 f"degrading to serial execution for {len(tasks)} tasks",
             )
-            return [run_task(task) for task in tasks]
+            with span("engine.serial_fallback", tasks=len(tasks)):
+                return [run_task(task) for task in tasks]

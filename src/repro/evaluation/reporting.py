@@ -40,3 +40,23 @@ def percent(value: float) -> str:
 def times(value: float) -> str:
     """Format a speedup as e.g. '1272x'."""
     return f"{value:,.0f}x"
+
+
+def comparison_row_dict(row) -> dict:
+    """Flatten a ComparisonRow into a JSON-able manifest/baseline row.
+
+    Duck-typed so this module stays dependency-free (it is imported by
+    :mod:`repro.observability.report`, which must not pull in the
+    experiment drivers).
+    """
+    return {
+        "workload": row.workload,
+        "sieve_error": float(row.sieve.error),
+        "pks_error": float(row.pks.error),
+        "sieve_cov": float(row.sieve.cycle_cov),
+        "pks_cov": float(row.pks.cycle_cov),
+        "sieve_speedup": float(row.sieve.speedup),
+        "pks_speedup": float(row.pks.speedup),
+        "sieve_reps": int(row.sieve.num_representatives),
+        "pks_reps": int(row.pks.num_representatives),
+    }

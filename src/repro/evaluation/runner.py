@@ -13,6 +13,7 @@ from repro.core.types import SampleSelection
 from repro.evaluation.context import WorkloadContext
 from repro.evaluation.dispersion import weighted_cycle_cov
 from repro.evaluation.metrics import prediction_error, simulation_speedup
+from repro.observability import span
 
 
 @dataclass(frozen=True)
@@ -38,11 +39,12 @@ def evaluate_sieve(
     context: WorkloadContext, config: SieveConfig | None = None
 ) -> MethodResult:
     """Run the Sieve pipeline on a workload context."""
-    pipeline = SievePipeline(config)
-    selection = pipeline.select(context.sieve_table)
-    prediction = pipeline.predict(selection, context.golden)
-    cycles = cycles_in_table_order(context.sieve_table, context.golden)
-    cov = weighted_cycle_cov((s.rows for s in selection.strata), cycles)
+    with span("evaluate.sieve", workload=context.label):
+        pipeline = SievePipeline(config)
+        selection = pipeline.select(context.sieve_table)
+        prediction = pipeline.predict(selection, context.golden)
+        cycles = cycles_in_table_order(context.sieve_table, context.golden)
+        cov = weighted_cycle_cov((s.rows for s in selection.strata), cycles)
     # Accuracy is judged against the *clean* reference (context.truth);
     # under fault injection it differs from the corrupted context.golden
     # the pipeline consumed.
@@ -63,11 +65,12 @@ def evaluate_pks(
     context: WorkloadContext, config: PksConfig | None = None
 ) -> MethodResult:
     """Run the PKS pipeline on a workload context."""
-    pipeline = PksPipeline(config)
-    selection = pipeline.select(context.pks_table, context.golden)
-    prediction = pipeline.predict(selection, context.golden)
-    cycles = cycles_in_table_order(context.pks_table, context.golden)
-    cov = weighted_cycle_cov(selection.cluster_rows, cycles)
+    with span("evaluate.pks", workload=context.label):
+        pipeline = PksPipeline(config)
+        selection = pipeline.select(context.pks_table, context.golden)
+        prediction = pipeline.predict(selection, context.golden)
+        cycles = cycles_in_table_order(context.pks_table, context.golden)
+        cov = weighted_cycle_cov(selection.cluster_rows, cycles)
     return MethodResult(
         workload=context.label,
         method=selection.method,

@@ -26,6 +26,7 @@ from repro.gpu.arch import WARP_SIZE, GpuArchitecture
 from repro.gpu.kernel import InvocationBatch, KernelTraits
 from repro.gpu.memory import memory_traffic
 from repro.gpu.occupancy import occupancy_table
+from repro.observability import metrics, span
 
 #: Arithmetic-pipeline latency (cycles) used in the latency-hiding term.
 ALU_LATENCY = 8.0
@@ -72,6 +73,14 @@ def invocation_timing(
     arch: GpuArchitecture, traits: KernelTraits, batch: InvocationBatch
 ) -> TimingBreakdown:
     """Model the cycle count of every invocation in ``batch`` on ``arch``."""
+    metrics.inc("gpu.timing.invocations", len(batch))
+    with span("gpu.timing"):
+        return _invocation_timing(arch, traits, batch)
+
+
+def _invocation_timing(
+    arch: GpuArchitecture, traits: KernelTraits, batch: InvocationBatch
+) -> TimingBreakdown:
     ctas_per_sm, active_warps = occupancy_table(arch, traits, batch.cta_size)
     num_ctas = batch.num_ctas.astype(np.float64)
 

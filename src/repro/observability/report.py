@@ -1,0 +1,132 @@
+"""Render run manifests as human-readable timing/accuracy reports.
+
+Backs ``sieve-repro report``: one manifest renders as a per-stage timing
+table (sorted by self time, the honest "where did the wall clock go"
+ordering) plus per-workload accuracy rows and cache statistics; two
+manifests render as a side-by-side diff with every regression
+:func:`repro.observability.manifest.diff_manifests` found.
+"""
+
+from __future__ import annotations
+
+from repro.evaluation.reporting import format_table, percent
+from repro.observability.manifest import Regression, RunManifest
+
+
+def _seconds(value: float) -> str:
+    return f"{value:.4f}s" if value < 10 else f"{value:.2f}s"
+
+
+def render_manifest(manifest: RunManifest) -> str:
+    """One manifest as header lines + stage and workload tables."""
+    lines = [
+        f"command          : {manifest.command}",
+        f"created          : {manifest.created or '-'}",
+        f"package          : {manifest.package_version} "
+        f"({manifest.source_fingerprint[:12] or '-'})",
+        f"total wall       : {_seconds(manifest.total_wall_s)} "
+        f"(cpu {_seconds(manifest.total_cpu_s)})",
+        f"instrumented self: {_seconds(manifest.stage_self_total())}",
+    ]
+    if manifest.cache is not None:
+        cache = manifest.cache
+        lines.append(
+            f"engine           : jobs={cache.get('jobs', 1)}, cache "
+            f"{cache.get('hits', 0)} hits / {cache.get('misses', 0)} misses / "
+            f"{cache.get('writes', 0)} writes / {cache.get('invalid', 0)} invalid"
+        )
+    for event in manifest.events:
+        fields = ", ".join(f"{k}={v}" for k, v in event.items() if k != "kind")
+        lines.append(f"event            : {event.get('kind')} ({fields})")
+
+    if manifest.stages:
+        stages = sorted(manifest.stages, key=lambda s: s.self_s, reverse=True)
+        total = manifest.total_wall_s or manifest.stage_self_total() or 1.0
+        lines.append("")
+        lines.append(
+            format_table(
+                ["stage", "calls", "wall", "self", "cpu", "share", "errors"],
+                [
+                    (
+                        stage.name,
+                        stage.count,
+                        _seconds(stage.wall_s),
+                        _seconds(stage.self_s),
+                        _seconds(stage.cpu_s),
+                        percent(stage.self_s / total),
+                        stage.errors or "-",
+                    )
+                    for stage in stages
+                ],
+            )
+        )
+
+    if manifest.workloads:
+        keys = [k for k in manifest.workloads[0] if k != "workload"]
+        lines.append("")
+        lines.append(
+            format_table(
+                ["workload"] + keys,
+                [
+                    [row.get("workload")] + [_format_value(k, row.get(k)) for k in keys]
+                    for row in manifest.workloads
+                ],
+            )
+        )
+
+    if manifest.aggregates:
+        lines.append("")
+        for key in sorted(manifest.aggregates):
+            lines.append(f"{key}: {manifest.aggregates[key]:.6g}")
+    return "\n".join(lines)
+
+
+def _format_value(key: str, value: object) -> object:
+    if isinstance(value, float) and (key.endswith("_error") or key.endswith("_cov")):
+        return percent(value)
+    return value
+
+
+def render_diff(
+    baseline: RunManifest,
+    current: RunManifest,
+    regressions: list[Regression],
+) -> str:
+    """Two manifests side by side, regressions flagged and listed."""
+    flagged = {r.name for r in regressions if r.kind in ("stage-wall", "stage-missing")}
+    current_stages = {stage.name: stage for stage in current.stages}
+    rows = []
+    for stage in sorted(baseline.stages, key=lambda s: s.wall_s, reverse=True):
+        counterpart = current_stages.pop(stage.name, None)
+        ratio = (
+            f"{counterpart.wall_s / stage.wall_s:.2f}x"
+            if counterpart is not None and stage.wall_s > 0
+            else "-"
+        )
+        rows.append(
+            (
+                stage.name,
+                _seconds(stage.wall_s),
+                _seconds(counterpart.wall_s) if counterpart else "absent",
+                ratio,
+                "REGRESSED" if stage.name in flagged else "",
+            )
+        )
+    for name, stage in sorted(current_stages.items()):  # new stages
+        rows.append((name, "absent", _seconds(stage.wall_s), "-", "new"))
+
+    lines = [
+        f"baseline : {baseline.command} ({baseline.created or 'uncreated'})",
+        f"current  : {current.command} ({current.created or 'uncreated'})",
+        f"total    : {_seconds(baseline.total_wall_s)} -> "
+        f"{_seconds(current.total_wall_s)}",
+        "",
+        format_table(["stage", "baseline", "current", "ratio", "flag"], rows),
+        "",
+    ]
+    if regressions:
+        lines.append(f"{len(regressions)} regression(s):")
+        lines.extend(f"  {regression}" for regression in regressions)
+    else:
+        lines.append("no regressions.")
+    return "\n".join(lines)

@@ -1,0 +1,36 @@
+"""On/off switch shared by every observability primitive.
+
+Observability is on by default and disabled with ``SIEVE_OBS=off`` (or
+``0``/``false``/``no``). When disabled, :func:`repro.observability.spans.span`
+returns a shared null context manager and the metrics helpers return
+without touching the registry, so the instrumented hot paths pay only a
+single module-level boolean check — the tier-1 timing contract.
+
+Tests flip the switch programmatically with :func:`set_enabled`;
+``set_enabled(None)`` restores the environment-derived default.
+"""
+
+from __future__ import annotations
+
+import os
+
+#: Values of ``SIEVE_OBS`` that turn observability off.
+_OFF_VALUES = frozenset({"off", "0", "false", "no"})
+
+
+def _env_enabled() -> bool:
+    return os.environ.get("SIEVE_OBS", "on").strip().lower() not in _OFF_VALUES
+
+
+_enabled: bool = _env_enabled()
+
+
+def enabled() -> bool:
+    """Whether spans and metrics are being recorded in this process."""
+    return _enabled
+
+
+def set_enabled(value: bool | None) -> None:
+    """Force observability on/off; ``None`` re-reads ``SIEVE_OBS``."""
+    global _enabled
+    _enabled = _env_enabled() if value is None else bool(value)

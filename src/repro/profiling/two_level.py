@@ -17,6 +17,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.gpu.arch import AMPERE_RTX3080, GpuArchitecture
+from repro.observability import metrics, span
 from repro.profiling.base import flatten_chronological, native_runtimes_and_footprints
 from repro.profiling.cost import ProfilingCost, ProfilingCostModel
 from repro.profiling.metrics import PKS_METRICS
@@ -71,26 +72,29 @@ class TwoLevelProfiler:
 
     def profile(self, run: WorkloadRun) -> TwoLevelProfile:
         """Profile ``run`` with the two-level scheme."""
-        full = flatten_chronological(run)
-        native_seconds, footprints = native_runtimes_and_footprints(run, self.arch)
-        budget = min(self.detailed_budget, len(full))
-        head = np.arange(budget)
-        tail = np.arange(budget, len(full))
+        with span("profiling.two_level", workload=run.label):
+            full = flatten_chronological(run)
+            native_seconds, footprints = native_runtimes_and_footprints(run, self.arch)
+            budget = min(self.detailed_budget, len(full))
+            head = np.arange(budget)
+            tail = np.arange(budget, len(full))
 
-        detailed = _slice_table(full, head)
-        light = _slice_table(full, tail).without_metrics()
+            detailed = _slice_table(full, head)
+            light = _slice_table(full, tail).without_metrics()
 
-        detailed_cost = self._cost_model.nsight_cost(
-            run.label,
-            native_seconds[head],
-            footprints[head],
-            num_metrics=len(PKS_METRICS),
-            complexity=run.spec.profiling_complexity,
-        )
-        light_cost = self._cost_model.nvbit_cost(run.label, native_seconds[tail])
-        return TwoLevelProfile(
-            detailed=detailed,
-            light=light,
-            detailed_cost=detailed_cost,
-            light_cost=light_cost,
-        )
+            metrics.inc("profiling.two_level.detailed", int(budget))
+            metrics.inc("profiling.two_level.light", int(len(full) - budget))
+            detailed_cost = self._cost_model.nsight_cost(
+                run.label,
+                native_seconds[head],
+                footprints[head],
+                num_metrics=len(PKS_METRICS),
+                complexity=run.spec.profiling_complexity,
+            )
+            light_cost = self._cost_model.nvbit_cost(run.label, native_seconds[tail])
+            return TwoLevelProfile(
+                detailed=detailed,
+                light=light,
+                detailed_cost=detailed_cost,
+                light_cost=light_cost,
+            )

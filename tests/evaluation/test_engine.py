@@ -127,16 +127,29 @@ def test_bad_jobs_rejected():
 
 def test_pool_failure_degrades_to_serial(tmp_path, monkeypatch):
     import repro.evaluation.engine as engine_module
+    from repro.observability import manifest as obs_manifest
 
     def broken_pool(jobs, tasks):
         raise OSError("fork bomb protection")
 
     monkeypatch.setattr(engine_module, "_pool_map", broken_pool)
     engine = EvaluationEngine(EngineConfig(jobs=4, cache_dir=tmp_path))
+    events_mark = obs_manifest.events_mark()
     with capture_diagnostics() as caught:
         results = engine.run([task_for(label) for label in LABELS])
     assert [r.label for r in results] == LABELS
-    assert any(c.source == "engine" for c in caught)
+    # The degradation reaches diagnostics AND the manifest event stream,
+    # both carrying the originating exception's repr.
+    engine_diags = [c for c in caught if c.source == "engine"]
+    assert engine_diags
+    assert "OSError('fork bomb protection')" in engine_diags[0].message
+    failures = [
+        e for e in obs_manifest.events(since=events_mark)
+        if e["kind"] == "engine.pool_failure"
+    ]
+    assert failures
+    assert failures[0]["exception"] == "OSError('fork bomb protection')"
+    assert failures[0]["tasks"] == len(LABELS)
 
     strict = EvaluationEngine(
         EngineConfig(jobs=4, cache_dir=tmp_path / "strict", serial_fallback=False)

@@ -1,0 +1,54 @@
+"""Smoke tests for the manifest renderers."""
+
+from repro.observability.manifest import RunManifest, StageStat, diff_manifests
+from repro.observability.report import render_diff, render_manifest
+
+
+def _manifest(total, stage_wall, error=0.012):
+    return RunManifest(
+        command="sieve-repro compare",
+        created="2026-01-01T00:00:00+00:00",
+        package_version="1.0.0",
+        source_fingerprint="abcdef0123456789",
+        total_wall_s=total,
+        total_cpu_s=total,
+        stages=(
+            StageStat(
+                name="sieve.stratify", count=2, wall_s=stage_wall,
+                self_s=stage_wall, cpu_s=stage_wall,
+            ),
+        ),
+        workloads=({"workload": "cactus/gru", "sieve_error": error},),
+        aggregates={"sieve_avg": error},
+        cache={"jobs": 1, "enabled": True, "hits": 3, "misses": 1,
+               "writes": 1, "invalid": 0},
+        events=({"kind": "engine.pool_failure", "exception": "OSError('x')"},),
+    )
+
+
+def test_render_manifest_includes_key_sections():
+    text = render_manifest(_manifest(1.0, 0.6))
+    assert "sieve-repro compare" in text
+    assert "sieve.stratify" in text
+    assert "60.00%" in text  # stage share of total
+    assert "cactus/gru" in text
+    assert "1.20%" in text  # *_error rendered as a percentage
+    assert "sieve_avg" in text
+    assert "3 hits / 1 misses" in text
+    assert "engine.pool_failure" in text
+
+
+def test_render_diff_lists_regressions():
+    baseline = _manifest(1.0, 0.6)
+    slowed = _manifest(2.0, 1.2)
+    regressions = diff_manifests(baseline, slowed)
+    text = render_diff(baseline, slowed, regressions)
+    assert "REGRESSED" in text
+    assert "2.00x" in text
+    assert f"{len(regressions)} regression(s):" in text
+
+
+def test_render_diff_clean():
+    baseline = _manifest(1.0, 0.6)
+    text = render_diff(baseline, baseline, [])
+    assert "no regressions." in text
