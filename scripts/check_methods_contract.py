@@ -1,0 +1,113 @@
+#!/usr/bin/env python
+"""CI contract check: every registered sampling method actually works.
+
+Imports the registry, instantiates every registered method on one tiny
+synthetic workload, and asserts the select/predict round-trip invariants
+the evaluation layer depends on:
+
+* ``select`` returns a :class:`~repro.core.types.SampleSelection` with at
+  least one representative, weights summing to ~1, and rows that index
+  the method's profile table;
+* ``predict`` on the context's golden measurement returns finite,
+  positive predicted cycles;
+* ``evaluate_method`` (the generic engine path) agrees exactly with the
+  raw select/predict round-trip;
+* the method's config schema round-trips through
+  ``resolve_config(None)`` / ``resolve_config(default)``.
+
+A partially migrated method — registered but with a broken adapter —
+fails here long before it corrupts a figure. Exits non-zero on the first
+violation.
+
+Usage::
+
+    PYTHONPATH=src python scripts/check_methods_contract.py [--cap N]
+"""
+
+from __future__ import annotations
+
+import argparse
+import math
+import sys
+
+from repro.core.types import SampleSelection
+from repro.evaluation.context import build_context
+from repro.evaluation.runner import evaluate_method
+from repro.methods import get_method, list_methods, method_entries
+
+#: Small but non-trivial: enough invocations for PKS to cluster and for
+#: the two-level profiler to have a detailed prefix + remainder.
+DEFAULT_CAP = 600
+WORKLOAD = "cactus/gru"
+
+
+def fail(message: str) -> None:
+    print(f"FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check_method(name: str, context) -> None:
+    method = get_method(name)
+    config = method.resolve_config(None)
+    if method.config_schema is not None:
+        resolved = method.resolve_config(config)
+        if resolved is not config:
+            fail(f"{name}: resolve_config(default) did not round-trip")
+
+    selection = method.select(context, config)
+    if not isinstance(selection, SampleSelection):
+        fail(f"{name}: select returned {type(selection).__name__}")
+    if selection.num_representatives < 1:
+        fail(f"{name}: select produced no representatives")
+    table_len = len(method.profile_table(context))
+    for rep in selection.representatives:
+        if not 0 <= rep.row < table_len:
+            fail(f"{name}: representative row {rep.row} outside profile table")
+    weight = sum(rep.weight for rep in selection.representatives)
+    if not math.isclose(weight, 1.0, rel_tol=1e-6):
+        fail(f"{name}: representative weights sum to {weight}, not 1")
+
+    prediction = method.predict(selection, context.golden, config)
+    if not (math.isfinite(prediction.predicted_cycles) and prediction.predicted_cycles > 0):
+        fail(f"{name}: predicted cycles {prediction.predicted_cycles}")
+
+    result = evaluate_method(name, context, config)
+    if result.predicted_cycles != prediction.predicted_cycles:
+        fail(
+            f"{name}: evaluate_method predicted {result.predicted_cycles}, "
+            f"raw round-trip predicted {prediction.predicted_cycles}"
+        )
+    if result.num_representatives != selection.num_representatives:
+        fail(f"{name}: evaluate_method representative count drifted")
+    print(
+        f"ok   {name:14s} reps={result.num_representatives:4d} "
+        f"error={result.error_percent:7.2f}% speedup={result.speedup:8.1f}x"
+    )
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--cap", type=int, default=DEFAULT_CAP)
+    args = parser.parse_args()
+
+    names = list_methods()
+    if not names:
+        fail("registry is empty")
+    entries = method_entries()
+    if tuple(m.name for m in entries) != names:
+        fail("method_entries() and list_methods() disagree")
+    expected = {"sieve", "pks", "pks-two-level", "periodic", "random"}
+    missing = expected - set(names)
+    if missing:
+        fail(f"built-in methods missing from registry: {sorted(missing)}")
+
+    context = build_context(WORKLOAD, args.cap)
+    print(f"contract check on {WORKLOAD} (cap={args.cap}): {', '.join(names)}")
+    for name in names:
+        check_method(name, context)
+    print(f"all {len(names)} registered methods honor the contract")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

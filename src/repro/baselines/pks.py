@@ -27,6 +27,15 @@ from repro.baselines.kmeans import BisectingKMeans
 from repro.baselines.pca import PCA
 from repro.core.prediction import PredictionResult
 from repro.core.types import Representative, SampleSelection
+
+# Shared imputation ladder (see repro.evaluation.imputation);
+# cycles_in_table_order is re-exported because callers historically
+# imported it from this module.
+from repro.evaluation.imputation import (
+    cycles_in_table_order,
+    kernel_mean_cycles,
+    measured_cycles_or_none,
+)
 from repro.gpu.hardware import WorkloadMeasurement
 from repro.observability import metrics as obs_metrics
 from repro.observability import span
@@ -36,6 +45,14 @@ from repro.utils.seeding import rng_for
 from repro.utils.validation import require
 
 PKS_SELECTION_POLICIES = ("first", "random", "centroid")
+
+__all__ = [
+    "PKS_SELECTION_POLICIES",
+    "PksConfig",
+    "PksPipeline",
+    "PksSelection",
+    "cycles_in_table_order",
+]
 
 
 @dataclass(frozen=True)
@@ -220,9 +237,9 @@ class PksPipeline:
         usable = 0
         with span("pks.predict", workload=selection.workload):
             for r in selection.representatives:
-                cycles = _measured_cycles_or_none(r, measurement)
+                cycles = measured_cycles_or_none(r, measurement)
                 if cycles is None:
-                    cycles = _kernel_mean_cycles(r.kernel_name, measurement)
+                    cycles = kernel_mean_cycles(r.kernel_name, measurement)
                     if cycles is None:
                         obs_metrics.inc("pks.predict.imputed", reason="unusable")
                         diagnostics.emit(
@@ -278,73 +295,3 @@ def _sanitized_metrics(table: ProfileTable) -> np.ndarray:
         "metric cells with column means before PCA",
     )
     return metrics
-
-
-def _measured_cycles_or_none(
-    rep: Representative, measurement: WorkloadMeasurement
-) -> float | None:
-    """The representative's measured cycles, or ``None`` if unusable."""
-    try:
-        cycles = rep.measured_cycles(measurement)
-    except (KeyError, IndexError):
-        return None
-    return float(cycles) if cycles > 0 else None
-
-
-def _kernel_mean_cycles(
-    kernel_name: str, measurement: WorkloadMeasurement
-) -> float | None:
-    """Mean cycles over a kernel's cleanly measured invocations, if any."""
-    kernel = measurement.per_kernel.get(kernel_name)
-    if kernel is None:
-        return None
-    clean = kernel.cycles[kernel.cycles > 0]
-    return float(clean.mean()) if len(clean) else None
-
-
-def cycles_in_table_order(
-    table: ProfileTable, measurement: WorkloadMeasurement
-) -> np.ndarray:
-    """Golden per-invocation cycle counts aligned with the table's rows.
-
-    Rows whose measurement is missing (absent kernel, out-of-range
-    invocation id) or zero are imputed with the kernel-mean cycle count
-    (workload mean as a last resort), with a summary diagnostic, so a
-    partially corrupted golden reference still yields usable per-row
-    cycles for k selection and dispersion statistics.
-    """
-    cycles = np.full(len(table), np.nan, dtype=np.float64)
-    for kernel_id, kernel_name in enumerate(table.kernel_names):
-        rows = table.rows_for_kernel(kernel_id)
-        if len(rows) == 0:
-            continue
-        per_kernel = measurement.per_kernel.get(kernel_name)
-        if per_kernel is None:
-            continue
-        ids = table.invocation_id[rows]
-        valid = (ids >= 0) & (ids < len(per_kernel.cycles))
-        values = np.full(len(rows), np.nan)
-        values[valid] = per_kernel.cycles[ids[valid]].astype(np.float64)
-        values[values <= 0] = np.nan
-        cycles[rows] = values
-
-    bad = ~np.isfinite(cycles)
-    if bad.any():
-        for kernel_id, kernel_name in enumerate(table.kernel_names):
-            rows = table.rows_for_kernel(kernel_id)
-            kernel_bad = rows[bad[rows]] if len(rows) else rows
-            if len(kernel_bad) == 0:
-                continue
-            fallback = _kernel_mean_cycles(kernel_name, measurement)
-            if fallback is not None:
-                cycles[kernel_bad] = fallback
-        still_bad = ~np.isfinite(cycles)
-        if still_bad.any():
-            finite = cycles[~still_bad]
-            cycles[still_bad] = float(finite.mean()) if len(finite) else 0.0
-        diagnostics.emit(
-            "pks.golden",
-            f"workload {table.workload!r}: imputed {int(bad.sum())} "
-            "missing/zero golden cycle counts with kernel means",
-        )
-    return cycles

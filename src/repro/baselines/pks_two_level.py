@@ -12,11 +12,29 @@ from collections import Counter, defaultdict
 
 import numpy as np
 
+from dataclasses import dataclass
+
 from repro.baselines.pks import PksConfig, PksPipeline, PksSelection
 from repro.core.types import Representative
 from repro.gpu.hardware import WorkloadMeasurement
 from repro.profiling.two_level import TwoLevelProfile
 from repro.utils.validation import require
+
+
+@dataclass(frozen=True)
+class TwoLevelPksConfig:
+    """Tunables of the two-level PKS method (registry ``pks-two-level``).
+
+    ``detailed_budget`` is the number of chronological invocations that
+    get the full 12-metric profile (the default matches the two-level
+    ablation bench); ``pks`` configures the clustering on that batch.
+    """
+
+    detailed_budget: int = 10_000
+    pks: PksConfig = PksConfig()
+
+    def __post_init__(self) -> None:
+        require(self.detailed_budget >= 1, "detailed budget must be >= 1")
 
 
 class TwoLevelPksPipeline:

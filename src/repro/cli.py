@@ -26,17 +26,20 @@ from repro.evaluation.engine import (
 )
 from repro.evaluation.reporting import (
     comparison_row_dict,
+    experiment_row_dict,
     format_table,
     percent,
     times,
 )
-from repro.evaluation.runner import evaluate_pks, evaluate_sieve
+from repro.evaluation.runner import evaluate_method
+from repro.methods import MethodRequest, get_method, method_entries
 from repro.observability import manifest as obs_manifest
 from repro.observability import spans as obs_spans
 from repro.observability.spans import span
 from repro.robustness import diagnostics
 from repro.robustness.faults import FaultPlan, parse_fault_plan
 from repro.utils.errors import ReproError
+from repro.workloads.catalog import CHALLENGING_SUITES
 
 #: Commands whose handlers honor --inject-faults.
 FAULT_AWARE_COMMANDS = frozenset({"fig3", "fig8", "compare", "sample"})
@@ -109,6 +112,52 @@ def _print_comparison(rows, aggregates_of) -> None:
     )
     for name, value in aggregates.items():
         print(f"{name}: {value:.4g}")
+
+
+def _parse_methods(spec: str, theta: float) -> tuple[MethodRequest, ...]:
+    """Turn ``--methods a,b`` into validated method requests.
+
+    Every name must resolve in the registry (a typo gets the typed
+    ``UnknownMethodError`` listing what *is* registered); Sieve picks up
+    the command's ``--theta``.
+    """
+    requests = []
+    for name in (part.strip() for part in spec.split(",")):
+        if not name:
+            continue
+        get_method(name)
+        config = SieveConfig(theta=theta) if name == "sieve" else None
+        requests.append(MethodRequest(name, config))
+    return tuple(requests)
+
+
+def _print_experiment(rows, keys) -> None:
+    """Generic per-method table for non-default method comparisons."""
+    _trace_artifacts["workloads"] = [experiment_row_dict(row) for row in rows]
+    headers = ["workload"]
+    for key in keys:
+        headers += [f"{key}_err", f"{key}_speedup"]
+    table_rows = []
+    for row in rows:
+        cells: list = [row.workload]
+        for key in keys:
+            result = row[key]
+            cells += [percent(result.error), times(result.speedup)]
+        table_rows.append(cells)
+    print(format_table(headers, table_rows))
+
+
+def _cmd_methods(args) -> None:
+    """List every registered sampling method (built-ins + entry points)."""
+    rows = [
+        (
+            method.name,
+            method.config_schema.__name__ if method.config_schema else "-",
+            method.description,
+        )
+        for method in method_entries()
+    ]
+    print(format_table(["method", "config", "description"], rows))
 
 
 def _cmd_table1(args) -> None:
@@ -254,13 +303,16 @@ def _cmd_simulate(args) -> None:
 
 
 def _cmd_sample(args) -> None:
+    if args.method:
+        requests = _parse_methods(args.method, args.theta)
+    else:
+        requests = _parse_methods("sieve,pks", args.theta)
     context = build_context(args.workload, args.cap, fault_plan=_fault_plan(args))
-    sieve = evaluate_sieve(context, SieveConfig(theta=args.theta))
-    pks = evaluate_pks(context)
     print(f"workload        : {context.label}")
     print(f"invocations     : {len(context.sieve_table)}")
     print(f"golden cycles   : {context.golden.total_cycles:,}")
-    for result in (sieve, pks):
+    for request in requests:
+        result = evaluate_method(request.method, context, request.config)
         print(
             f"{result.method:12s}: {result.num_representatives:4d} reps, "
             f"error {percent(result.error)}, speedup {times(result.speedup)}"
@@ -304,16 +356,30 @@ def _cmd_validate(args) -> int:
 
 
 def _cmd_compare(args) -> None:
-    """Sieve-vs-PKS scorecard on chosen workloads (fig3 on a sub-list)."""
+    """Method scorecard on chosen workloads (default: Sieve vs PKS, fig3)."""
     engine = _engine(args)
-    rows = experiments.compare_methods(
-        labels=args.workloads or None,
-        max_invocations=args.cap,
-        theta=args.theta,
-        fault_plan=_fault_plan(args),
-        engine=engine,
-    )
-    _print_comparison(rows, experiments.figure3_accuracy)
+    requests = _parse_methods(args.methods, args.theta)
+    keys = [request.key for request in requests]
+    if keys == ["sieve", "pks"]:
+        # The paper's headline comparison keeps its richer table.
+        rows = experiments.compare_methods(
+            labels=args.workloads or None,
+            max_invocations=args.cap,
+            theta=args.theta,
+            fault_plan=_fault_plan(args),
+            engine=engine,
+        )
+        _print_comparison(rows, experiments.figure3_accuracy)
+    else:
+        spec = experiments.ExperimentSpec(
+            name="cli-compare",
+            methods=requests,
+            labels=tuple(args.workloads or ()),
+            suites=() if args.workloads else CHALLENGING_SUITES,
+            max_invocations=args.cap,
+            fault_plan=_fault_plan(args),
+        )
+        _print_experiment(experiments.run_experiment(spec, engine), keys)
     _report_engine(engine)
 
 
@@ -422,22 +488,46 @@ def build_parser() -> argparse.ArgumentParser:
     }
     for name, handler in commands.items():
         sub.add_parser(name).set_defaults(handler=handler)
-    sample = sub.add_parser("sample", help="run Sieve + PKS on one workload")
+    sample = sub.add_parser("sample", help="run sampling methods on one workload")
     sample.add_argument("workload")
     sample.add_argument("--theta", type=float, default=0.4)
+    sample.add_argument(
+        "--method",
+        default=None,
+        help="registered method name(s), comma-separated "
+        "(default: sieve,pks; see 'sieve-repro methods list')",
+    )
     sample.set_defaults(handler=_cmd_sample)
 
     compare = sub.add_parser(
         "compare",
-        help="Sieve-vs-PKS scorecard on chosen workloads "
-        "(default: the challenging suites, i.e. fig3)",
+        help="method scorecard on chosen workloads "
+        "(default: Sieve vs PKS on the challenging suites, i.e. fig3)",
     )
     compare.add_argument(
         "workloads", nargs="*",
         help="workload labels (default: all challenging workloads)",
     )
     compare.add_argument("--theta", type=float, default=0.4)
+    compare.add_argument(
+        "--methods",
+        default="sieve,pks",
+        help="comma-separated registered method names to compare "
+        "(default: sieve,pks; see 'sieve-repro methods list')",
+    )
     compare.set_defaults(handler=_cmd_compare)
+
+    methods = sub.add_parser(
+        "methods", help="inspect the sampling-method registry"
+    )
+    methods.add_argument(
+        "methods_command",
+        nargs="?",
+        choices=("list",),
+        default="list",
+        help="list (default): every registered method with its config schema",
+    )
+    methods.set_defaults(handler=_cmd_methods)
 
     report = sub.add_parser(
         "report",

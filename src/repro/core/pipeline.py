@@ -25,11 +25,22 @@ from repro.core.selection import select_representative_row
 from repro.core.stratify import Stratum, stratify_table
 from repro.core.types import Representative, SampleSelection
 from repro.core.weights import stratum_weights
+
+# Shared imputation ladder (see repro.evaluation.imputation); re-exported
+# here because these names predate the shared module.
+from repro.evaluation.imputation import kernel_mean_ipc, measured_ipc_or_none
 from repro.gpu.hardware import WorkloadMeasurement
 from repro.observability import metrics, span
 from repro.profiling.table import ProfileTable
 from repro.utils.errors import PredictionError, SelectionError
 from repro.utils.validation import require
+
+__all__ = [
+    "SievePipeline",
+    "SieveSelection",
+    "kernel_mean_ipc",
+    "measured_ipc_or_none",
+]
 
 METHOD_NAME = "sieve"
 
@@ -39,41 +50,6 @@ class SieveSelection(SampleSelection):
     """Sieve's selection, retaining the stratification for analysis."""
 
     strata: tuple[Stratum, ...] = ()
-
-
-def measured_ipc_or_none(
-    rep: Representative, measurement: WorkloadMeasurement
-) -> float | None:
-    """The representative's measured IPC, or ``None`` if unusable.
-
-    Unusable means: its kernel is absent from the measurement, its
-    invocation index is out of range (dropped invocation), or either
-    counter is non-positive/non-finite.
-    """
-    try:
-        insn = rep.measured_insn(measurement)
-        cycles = rep.measured_cycles(measurement)
-    except (KeyError, IndexError):
-        return None
-    if cycles <= 0 or insn <= 0:
-        return None
-    ipc = insn / cycles
-    return ipc if np.isfinite(ipc) else None
-
-
-def kernel_mean_ipc(
-    kernel_name: str, measurement: WorkloadMeasurement
-) -> float | None:
-    """Mean IPC over a kernel's cleanly measured invocations, if any."""
-    kernel = measurement.per_kernel.get(kernel_name)
-    if kernel is None:
-        return None
-    cycles = kernel.cycles.astype(np.float64)
-    insn = kernel.insn_count.astype(np.float64)
-    clean = (cycles > 0) & (insn > 0)
-    if not clean.any():
-        return None
-    return float((insn[clean] / cycles[clean]).mean())
 
 
 class SievePipeline:

@@ -34,13 +34,12 @@ from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from functools import lru_cache
 from pathlib import Path
-from typing import Mapping, Sequence
+from typing import TYPE_CHECKING, Mapping, Sequence
 
 import repro
-from repro.baselines.pks import PksConfig
-from repro.core.config import SieveConfig
 from repro.evaluation.context import build_context
-from repro.evaluation.runner import MethodResult, evaluate_pks, evaluate_sieve
+from repro.evaluation.runner import MethodResult, evaluate_method
+from repro.methods import MethodRequest, get_method
 from repro.observability import manifest as obs_manifest
 from repro.observability import metrics, spans
 from repro.observability import state as obs_state
@@ -52,10 +51,14 @@ from repro.utils.hashing import stable_hash, tree_fingerprint
 from repro.utils.validation import require
 from repro.workloads.catalog import spec_for
 
-#: Bump when the cached payload layout changes; old entries become misses.
-CACHE_SCHEMA = 1
+if TYPE_CHECKING:  # annotation-only; keeps baselines out of the import graph
+    from repro.baselines.pks import PksConfig
+    from repro.core.config import SieveConfig
 
-#: Sampler names a task may request.
+#: Bump when the cached payload layout changes; old entries become misses.
+CACHE_SCHEMA = 2
+
+#: The default method comparison (the paper's headline Sieve-vs-PKS).
 KNOWN_METHODS = ("sieve", "pks")
 
 
@@ -85,11 +88,19 @@ def source_fingerprint() -> str:
 
 @dataclass(frozen=True)
 class EvaluationTask:
-    """One unit of work: evaluate the requested samplers on one workload.
+    """One unit of work: evaluate the requested methods on one workload.
 
     Tasks are frozen, hashable and picklable; workers resolve the label
     through the catalog and rebuild the context from seeds, so shipping a
     task to another process ships *no* bulk data.
+
+    ``methods`` accepts registry names (``"sieve"``) and/or
+    :class:`~repro.methods.MethodRequest`\\ s; plain names are normalized
+    into requests at construction, folding in the legacy ``sieve_config``
+    / ``pks_config`` conveniences. Every requested method must resolve in
+    the registry — construction and :meth:`cache_key` both raise a typed
+    :class:`~repro.utils.errors.UnknownMethodError` otherwise, so a task
+    can never mint a cache key for a method that cannot run.
     """
 
     label: str
@@ -97,25 +108,47 @@ class EvaluationTask:
     sieve_config: SieveConfig | None = None
     pks_config: PksConfig | None = None
     fault_plan: FaultPlan | None = None
-    methods: tuple[str, ...] = KNOWN_METHODS
+    methods: tuple[str | MethodRequest, ...] = KNOWN_METHODS
 
     def __post_init__(self) -> None:
         require(len(self.methods) >= 1, "task must request a method", EngineError)
-        for method in self.methods:
-            require(
-                method in KNOWN_METHODS,
-                f"unknown method {method!r}; known: {KNOWN_METHODS}",
-                EngineError,
-            )
+        legacy = {"sieve": self.sieve_config, "pks": self.pks_config}
+        requests = tuple(
+            entry
+            if isinstance(entry, MethodRequest)
+            else MethodRequest(method=entry, config=legacy.get(entry))
+            for entry in self.methods
+        )
+        keys = [request.key for request in requests]
+        require(
+            len(set(keys)) == len(keys),
+            f"duplicate method keys in task: {keys} (alias repeated requests)",
+            EngineError,
+        )
+        # Fail loudly now: resolve every name and type-check its config.
+        for request in requests:
+            get_method(request.method).resolve_config(request.config)
+        # Normalize in place (frozen dataclass): the legacy configs live
+        # inside the requests from here on, so a task built from names +
+        # configs hashes identically to one built from explicit requests.
+        object.__setattr__(self, "methods", requests)
+        object.__setattr__(self, "sieve_config", None)
+        object.__setattr__(self, "pks_config", None)
 
     def cache_key(self) -> str:
         """Content-addressed identity of this task's result.
 
         Key material: schema version, package version, package source
         fingerprint, the *resolved* workload spec (so catalog
-        recalibration invalidates), the invocation cap, both sampler
-        configs, the fault plan and the method list.
+        recalibration invalidates), the invocation cap, the fault plan
+        and every method request (registry name + full config), so two
+        tasks differing only in a method's config never collide.
+
+        Raises :class:`~repro.utils.errors.UnknownMethodError` if any
+        requested method is no longer registered.
         """
+        for request in self.methods:
+            get_method(request.method)  # typed failure before hashing
         return stable_hash(
             "evaluation-task",
             CACHE_SCHEMA,
@@ -123,8 +156,6 @@ class EvaluationTask:
             source_fingerprint(),
             spec_for(self.label),
             self.max_invocations,
-            self.sieve_config,
-            self.pks_config,
             self.fault_plan,
             list(self.methods),
         )
@@ -154,11 +185,10 @@ def run_task(task: EvaluationTask) -> dict[str, MethodResult]:
             task.label, task.max_invocations, fault_plan=task.fault_plan
         )
         results: dict[str, MethodResult] = {}
-        for method in task.methods:
-            if method == "sieve":
-                results[method] = evaluate_sieve(context, task.sieve_config)
-            else:
-                results[method] = evaluate_pks(context, task.pks_config)
+        for request in task.methods:
+            results[request.key] = evaluate_method(
+                request.method, context, request.config
+            )
         return results
 
 

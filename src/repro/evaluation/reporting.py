@@ -42,6 +42,24 @@ def times(value: float) -> str:
     return f"{value:,.0f}x"
 
 
+def experiment_row_dict(row) -> dict:
+    """Flatten an ExperimentRow into a JSON-able manifest/baseline row.
+
+    One column group per method request key — ``<key>_error`` /
+    ``<key>_cov`` / ``<key>_speedup`` / ``<key>_reps`` — so manifest
+    diffing (which gates on ``*_error`` keys) covers every method an
+    experiment ran, not just the Sieve-vs-PKS pair. Duck-typed for the
+    same reason as :func:`comparison_row_dict`.
+    """
+    out: dict = {"workload": row.workload}
+    for key, result in row.results.items():
+        out[f"{key}_error"] = float(result.error)
+        out[f"{key}_cov"] = float(result.cycle_cov)
+        out[f"{key}_speedup"] = float(result.speedup)
+        out[f"{key}_reps"] = int(result.num_representatives)
+    return out
+
+
 def comparison_row_dict(row) -> dict:
     """Flatten a ComparisonRow into a JSON-able manifest/baseline row.
 

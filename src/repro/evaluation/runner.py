@@ -1,4 +1,12 @@
-"""Method evaluation: run Sieve or PKS on a context, collect all metrics."""
+"""Method evaluation: run any registered sampling method on a context.
+
+``evaluate_method`` is the one generic scorecard path — it resolves a
+method through :mod:`repro.methods`, runs select + predict, and collects
+the full metric set (accuracy, speedup, dispersion) into a
+:class:`MethodResult`. ``evaluate_sieve``/``evaluate_pks`` survive as
+thin wrappers for historical call sites; they are byte-identical to the
+generic path (the equivalence property tests pin this).
+"""
 
 from __future__ import annotations
 
@@ -6,14 +14,13 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.baselines.pks import PksConfig, PksPipeline, cycles_in_table_order
-from repro.core.config import SieveConfig
-from repro.core.pipeline import SievePipeline
 from repro.core.types import SampleSelection
 from repro.evaluation.context import WorkloadContext
 from repro.evaluation.dispersion import weighted_cycle_cov
+from repro.evaluation.imputation import cycles_in_table_order
 from repro.evaluation.metrics import prediction_error, simulation_speedup
-from repro.observability import span
+from repro.methods import get_method
+from repro.observability import metrics, span
 
 
 @dataclass(frozen=True)
@@ -35,19 +42,29 @@ class MethodResult:
         return self.error * 100.0
 
 
-def evaluate_sieve(
-    context: WorkloadContext, config: SieveConfig | None = None
+def evaluate_method(
+    method_name: str,
+    context: WorkloadContext,
+    config: object | None = None,
 ) -> MethodResult:
-    """Run the Sieve pipeline on a workload context."""
-    with span("evaluate.sieve", workload=context.label):
-        pipeline = SievePipeline(config)
-        selection = pipeline.select(context.sieve_table)
-        prediction = pipeline.predict(selection, context.golden)
-        cycles = cycles_in_table_order(context.sieve_table, context.golden)
-        cov = weighted_cycle_cov((s.rows for s in selection.strata), cycles)
+    """Run one registered sampling method on a workload context.
+
+    ``method_name`` resolves through the registry (raising a typed
+    :class:`~repro.utils.errors.UnknownMethodError` when absent);
+    ``config`` must be ``None`` (method defaults) or an instance of the
+    method's ``config_schema``.
+    """
+    method = get_method(method_name)
+    config = method.resolve_config(config)
+    with span(f"evaluate.{method_name}", workload=context.label):
+        selection = method.select(context, config)
+        prediction = method.predict(selection, context.golden, config)
+        cycles = cycles_in_table_order(method.profile_table(context), context.golden)
+        cov = weighted_cycle_cov(method.group_rows(selection), cycles)
+    metrics.inc("evaluate.method", method=method_name)
     # Accuracy is judged against the *clean* reference (context.truth);
     # under fault injection it differs from the corrupted context.golden
-    # the pipeline consumed.
+    # the method consumed.
     return MethodResult(
         workload=context.label,
         method=selection.method,
@@ -61,27 +78,14 @@ def evaluate_sieve(
     )
 
 
-def evaluate_pks(
-    context: WorkloadContext, config: PksConfig | None = None
-) -> MethodResult:
+def evaluate_sieve(context: WorkloadContext, config=None) -> MethodResult:
+    """Run the Sieve pipeline on a workload context."""
+    return evaluate_method("sieve", context, config)
+
+
+def evaluate_pks(context: WorkloadContext, config=None) -> MethodResult:
     """Run the PKS pipeline on a workload context."""
-    with span("evaluate.pks", workload=context.label):
-        pipeline = PksPipeline(config)
-        selection = pipeline.select(context.pks_table, context.golden)
-        prediction = pipeline.predict(selection, context.golden)
-        cycles = cycles_in_table_order(context.pks_table, context.golden)
-        cov = weighted_cycle_cov(selection.cluster_rows, cycles)
-    return MethodResult(
-        workload=context.label,
-        method=selection.method,
-        error=prediction_error(prediction.predicted_cycles, context.truth.total_cycles),
-        speedup=simulation_speedup(selection, context.golden),
-        num_representatives=selection.num_representatives,
-        cycle_cov=cov,
-        predicted_cycles=prediction.predicted_cycles,
-        measured_cycles=context.truth.total_cycles,
-        selection=selection,
-    )
+    return evaluate_method("pks", context, config)
 
 
 def predicted_speedup_between(
@@ -93,22 +97,36 @@ def predicted_speedup_between(
     """A method's predicted (other -> baseline) wall-time speedup (Fig. 9).
 
     Both methods predict per-architecture application cycles from the same
-    representatives; wall-time speedup follows from the clocks.
+    representatives; wall-time speedup follows from the clocks. ``method``
+    is a registry name or a selection's method string (policy-suffixed
+    strings like ``"pks-first"`` resolve to their registry prefix).
     """
-    from repro.baselines.pks import PksPipeline as _Pks
-    from repro.core.pipeline import SievePipeline as _Sieve
-
-    if method == "sieve":
-        pipe = _Sieve()
-        base_cycles = pipe.predict(selection, baseline).predicted_cycles
-        other_cycles = pipe.predict(selection, other).predicted_cycles
-    else:
-        pipe = _Pks()
-        base_cycles = pipe.predict(selection, baseline).predicted_cycles
-        other_cycles = pipe.predict(selection, other).predicted_cycles
+    resolved = get_method(_registry_name(method))
+    config = resolved.default_config()
+    base_cycles = resolved.predict(selection, baseline, config).predicted_cycles
+    other_cycles = resolved.predict(selection, other, config).predicted_cycles
     base_seconds = base_cycles / (baseline.clock_ghz * 1e9)
     other_seconds = other_cycles / (other.clock_ghz * 1e9)
     return other_seconds / base_seconds
+
+
+def _registry_name(method: str) -> str:
+    """Map a selection's method string onto its registry name.
+
+    Selections label themselves with policy-qualified strings
+    (``"pks-first"``, ``"pks-two-level"``); prediction only depends on the
+    registered method, so fall back to progressively shorter ``-``
+    prefixes until one resolves.
+    """
+    from repro.methods import list_methods
+
+    names = set(list_methods())
+    parts = method.split("-")
+    for end in range(len(parts), 0, -1):
+        candidate = "-".join(parts[:end])
+        if candidate in names:
+            return candidate
+    return method  # let get_method raise its typed error
 
 
 def hardware_speedup_between(baseline, other) -> float:

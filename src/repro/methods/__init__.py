@@ -1,0 +1,28 @@
+"""Sampling-method registry: one protocol for every comparator.
+
+``get_method("sieve")`` resolves a :class:`SamplingMethod`; the built-in
+methods and any ``sieve_repro.methods`` entry points load lazily on the
+first lookup. See :mod:`repro.methods.base` for the contract and
+:mod:`repro.methods.builtin` for the shipped implementations.
+"""
+
+from repro.methods.base import MethodRequest, SamplingMethod
+from repro.methods.registry import (
+    ENTRY_POINT_GROUP,
+    get_method,
+    list_methods,
+    method_entries,
+    register_method,
+    unregister_method,
+)
+
+__all__ = [
+    "ENTRY_POINT_GROUP",
+    "MethodRequest",
+    "SamplingMethod",
+    "get_method",
+    "list_methods",
+    "method_entries",
+    "register_method",
+    "unregister_method",
+]

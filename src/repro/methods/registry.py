@@ -1,0 +1,126 @@
+"""Registry mapping method names to :class:`SamplingMethod` instances.
+
+Built-in methods (Sieve, PKS, PKS-two-level, periodic, random) register
+themselves when :mod:`repro.methods.builtin` loads; third-party
+comparators register either with the :func:`register_method` decorator or
+through a ``sieve_repro.methods`` entry point::
+
+    [project.entry-points."sieve_repro.methods"]
+    my-method = "my_package.sampling:MySamplingMethod"
+
+Both built-ins and entry points load lazily on first lookup, so importing
+:mod:`repro.methods` stays cheap and free of import cycles (the built-in
+adapters pull in the full Sieve/PKS pipelines).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, TypeVar
+
+from repro.methods.base import SamplingMethod
+from repro.utils.errors import MethodRegistryError, UnknownMethodError
+
+#: Entry-point group scanned for third-party methods.
+ENTRY_POINT_GROUP = "sieve_repro.methods"
+
+_REGISTRY: dict[str, SamplingMethod] = {}
+_loaded = False
+
+M = TypeVar("M", bound=type)
+
+
+def register_method(cls: M) -> M:
+    """Class decorator: instantiate ``cls`` and add it to the registry.
+
+    The class must subclass :class:`SamplingMethod` with a non-empty,
+    unique ``name``. Returns the class unchanged so it stays importable.
+    """
+    if not (isinstance(cls, type) and issubclass(cls, SamplingMethod)):
+        raise MethodRegistryError(
+            f"@register_method expects a SamplingMethod subclass, got {cls!r}"
+        )
+    method = cls()
+    if not method.name:
+        raise MethodRegistryError(f"{cls.__name__} has an empty method name")
+    if method.name in _REGISTRY:
+        raise MethodRegistryError(
+            f"method {method.name!r} is already registered "
+            f"(by {type(_REGISTRY[method.name]).__name__})"
+        )
+    _REGISTRY[method.name] = method
+    return cls
+
+
+def unregister_method(name: str) -> None:
+    """Remove ``name`` from the registry (test/plugin teardown helper)."""
+    _REGISTRY.pop(name, None)
+
+
+def _load_entry_points() -> None:
+    from importlib.metadata import entry_points
+
+    import repro.robustness.diagnostics as diagnostics
+
+    try:
+        points = entry_points(group=ENTRY_POINT_GROUP)
+    except Exception as exc:  # metadata backends vary; never fatal
+        diagnostics.emit(
+            "methods.registry", f"entry-point scan failed: {exc!r}"
+        )
+        return
+    for point in points:
+        try:
+            loaded = point.load()
+            if isinstance(loaded, type) and issubclass(loaded, SamplingMethod):
+                if loaded().name not in _REGISTRY:
+                    register_method(loaded)
+            else:
+                raise MethodRegistryError(
+                    f"entry point {point.name!r} is not a SamplingMethod"
+                )
+        except Exception as exc:
+            # A broken plugin must not take down the built-in methods.
+            diagnostics.emit(
+                "methods.registry",
+                f"failed to load method entry point {point.name!r}: {exc!r}",
+            )
+
+
+def _ensure_loaded() -> None:
+    global _loaded
+    if _loaded:
+        return
+    _loaded = True
+    import repro.methods.builtin  # noqa: F401  (registers via decorator)
+
+    _load_entry_points()
+
+
+def get_method(name: str) -> SamplingMethod:
+    """Resolve a registered method by name.
+
+    Raises :class:`~repro.utils.errors.UnknownMethodError` (typed, loud)
+    when ``name`` is not registered — callers like
+    ``EvaluationTask.cache_key`` rely on this to refuse minting cache
+    keys for methods that cannot run.
+    """
+    _ensure_loaded()
+    method = _REGISTRY.get(name)
+    if method is None:
+        raise UnknownMethodError(
+            f"unknown sampling method {name!r}; registered: "
+            f"{', '.join(list_methods()) or '(none)'}"
+        )
+    return method
+
+
+def list_methods() -> tuple[str, ...]:
+    """All registered method names, sorted."""
+    _ensure_loaded()
+    return tuple(sorted(_REGISTRY))
+
+
+def method_entries() -> tuple[SamplingMethod, ...]:
+    """All registered method instances, sorted by name."""
+    _ensure_loaded()
+    return tuple(_REGISTRY[name] for name in sorted(_REGISTRY))

@@ -56,3 +56,23 @@ class FaultInjectionError(ReproError):
 class EngineError(ReproError):
     """The parallel evaluation engine was misused (bad jobs count,
     unknown method name in a task, unusable cache directory)."""
+
+
+class MethodRegistryError(ReproError):
+    """The sampling-method registry was misused (duplicate registration,
+    malformed method class, bad entry point)."""
+
+
+class UnknownMethodError(MethodRegistryError, EngineError):
+    """A sampling method name does not resolve in the registry.
+
+    Raised by :func:`repro.methods.get_method` and by
+    :meth:`repro.evaluation.engine.EvaluationTask.cache_key` — a task must
+    fail loudly here rather than mint a cache key for a method that can
+    never run. Subclasses :class:`EngineError` so engine-level callers
+    that catch the engine's typed error keep working.
+    """
+
+
+class MethodConfigError(MethodRegistryError):
+    """A method was handed a config of the wrong type for its schema."""

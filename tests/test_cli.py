@@ -32,3 +32,36 @@ def test_table2_command_runs(capsys):
 def test_unknown_command_rejected():
     with pytest.raises(SystemExit):
         main(["not-a-command"])
+
+
+def test_methods_list_shows_every_registered_method(capsys):
+    assert main(["methods", "list"]) == 0
+    out = capsys.readouterr().out
+    for name in ("sieve", "pks", "pks-two-level", "periodic", "random"):
+        assert name in out
+    assert "SieveConfig" in out
+
+
+def test_sample_with_method_selection(capsys):
+    assert main(["--cap", "800", "sample", "cactus/gru", "--method", "random"]) == 0
+    out = capsys.readouterr().out
+    assert "random" in out
+    assert "pks" not in out
+
+
+def test_compare_with_custom_methods(capsys):
+    assert main(
+        ["--cap", "800", "--no-cache", "compare", "cactus/gru",
+         "--methods", "sieve,periodic"]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "periodic_err" in out
+    assert "sieve_err" in out
+
+
+def test_compare_unknown_method_fails_cleanly(capsys):
+    assert main(
+        ["--cap", "800", "compare", "cactus/gru", "--methods", "bogus"]
+    ) == 2
+    err = capsys.readouterr().err
+    assert "unknown sampling method 'bogus'" in err
