@@ -18,8 +18,10 @@ environment:
   then recomputes from scratch, the pre-engine behaviour);
 * ``SIEVE_BENCH_MANIFEST_DIR`` — when set, comparison benches write a
   ``BENCH_<figure>.json`` run manifest there (per-stage timings +
-  accuracy rows); the CI ``bench-regression`` job diffs these against
-  the committed ``benchmarks/baselines/`` copies.
+  accuracy rows + error attributions), plus a ``TRACE_<figure>.json``
+  Chrome trace and an ``ATTRIBUTION_<figure>.json`` dump; the CI
+  ``bench-regression`` job diffs the manifests against the committed
+  ``benchmarks/baselines/`` copies and uploads the traces as artifacts.
 """
 
 from __future__ import annotations
@@ -110,11 +112,20 @@ def write_bench_manifest(
     No-op (returns None) when the env var is unset, so plain bench runs
     stay artifact-free. ``rows`` are ComparisonRows; the manifest window
     is everything recorded since ``mark`` (see :func:`manifest_mark`).
+    Alongside the manifest, the bench's span window is exported as a
+    ``TRACE_<figure>.json`` Chrome trace and its per-kernel error
+    attributions as ``ATTRIBUTION_<figure>.json``.
     """
     directory = os.environ.get("SIEVE_BENCH_MANIFEST_DIR")
     if not directory:
         return None
+    import json
+
+    from repro.evaluation.experiments import collect_attributions
+    from repro.observability.export import write_chrome_trace
+
     since, events_since, wall_start, cpu_start = mark
+    attribution = collect_attributions(rows)
     manifest = obs_manifest.collect_manifest(
         f"bench {figure}",
         config={"cap": SCALE_CAP, "jobs": JOBS},
@@ -125,7 +136,16 @@ def write_bench_manifest(
         events_since=events_since,
         total_wall_s=time.perf_counter() - wall_start,
         total_cpu_s=time.process_time() - cpu_start,
+        attribution=attribution,
     )
     path = manifest.save(Path(directory) / f"BENCH_{figure}.json")
     emit(f"manifest: {path}")
+    window = obs_spans.records()[since:]
+    if window:
+        trace_path = write_chrome_trace(Path(directory) / f"TRACE_{figure}.json", window)
+        emit(f"trace: {trace_path}")
+    if attribution:
+        attr_path = Path(directory) / f"ATTRIBUTION_{figure}.json"
+        attr_path.write_text(json.dumps(attribution, indent=2, sort_keys=True) + "\n")
+        emit(f"attribution: {attr_path}")
     return path

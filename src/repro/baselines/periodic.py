@@ -54,6 +54,7 @@ class PeriodicSampler:
         self, selection: SampleSelection, measurement: WorkloadMeasurement
     ) -> PredictionResult:
         sampled = [r.measured_cycles(measurement) for r in selection.representatives]
+        scale = selection.num_invocations / len(sampled)
         predicted = sum(sampled) / len(sampled) * selection.num_invocations
         return PredictionResult(
             workload=selection.workload,
@@ -61,4 +62,5 @@ class PeriodicSampler:
             predicted_cycles=predicted,
             predicted_ipc=selection.total_instructions / predicted,
             num_representatives=selection.num_representatives,
+            contributions=tuple(cycles * scale for cycles in sampled),
         )

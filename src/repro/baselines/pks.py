@@ -235,6 +235,7 @@ class PksPipeline:
         """
         predicted = 0.0
         usable = 0
+        contributions: list[float] = []
         with span("pks.predict", workload=selection.workload):
             for r in selection.representatives:
                 cycles = measured_cycles_or_none(r, measurement)
@@ -248,6 +249,7 @@ class PksPipeline:
                             f"{r.kernel_name!r}) has no measurements at all; "
                             "its cluster contributes nothing",
                         )
+                        contributions.append(0.0)
                         continue
                     obs_metrics.inc("pks.predict.imputed", reason="kernel_mean")
                     diagnostics.emit(
@@ -256,6 +258,7 @@ class PksPipeline:
                         f"invocation {r.invocation_id}) has no usable "
                         f"measurement; imputed kernel-mean cycles {cycles:.4g}",
                     )
+                contributions.append(r.group_size * cycles)
                 predicted += r.group_size * cycles
                 usable += 1
         require(
@@ -270,6 +273,7 @@ class PksPipeline:
             predicted_cycles=predicted,
             predicted_ipc=selection.total_instructions / predicted,
             num_representatives=selection.num_representatives,
+            contributions=tuple(contributions),
         )
 
 

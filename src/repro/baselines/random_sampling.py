@@ -58,6 +58,7 @@ class RandomSampler:
     ) -> PredictionResult:
         """Horvitz-Thompson estimate: population mean times population size."""
         sampled = [r.measured_cycles(measurement) for r in selection.representatives]
+        scale = selection.num_invocations / len(sampled)
         predicted = sum(sampled) / len(sampled) * selection.num_invocations
         return PredictionResult(
             workload=selection.workload,
@@ -65,4 +66,5 @@ class RandomSampler:
             predicted_cycles=predicted,
             predicted_ipc=selection.total_instructions / predicted,
             num_representatives=selection.num_representatives,
+            contributions=tuple(cycles * scale for cycles in sampled),
         )

@@ -42,7 +42,7 @@ from repro.utils.errors import ReproError
 from repro.workloads.catalog import CHALLENGING_SUITES
 
 #: Commands whose handlers honor --inject-faults.
-FAULT_AWARE_COMMANDS = frozenset({"fig3", "fig8", "compare", "sample"})
+FAULT_AWARE_COMMANDS = frozenset({"fig3", "fig8", "compare", "sample", "attribute"})
 
 #: Commands whose handlers route work through the evaluation engine
 #: (and therefore honor --jobs / --no-cache / --cache-dir).
@@ -91,6 +91,7 @@ def _print_comparison(rows, aggregates_of) -> None:
     aggregates = aggregates_of(rows)
     _trace_artifacts["workloads"] = [comparison_row_dict(row) for row in rows]
     _trace_artifacts["aggregates"] = {k: float(v) for k, v in aggregates.items()}
+    _trace_artifacts["attribution"] = experiments.collect_attributions(rows)
     table_rows = [
         (
             row.workload,
@@ -134,6 +135,7 @@ def _parse_methods(spec: str, theta: float) -> tuple[MethodRequest, ...]:
 def _print_experiment(rows, keys) -> None:
     """Generic per-method table for non-default method comparisons."""
     _trace_artifacts["workloads"] = [experiment_row_dict(row) for row in rows]
+    _trace_artifacts["attribution"] = experiments.collect_attributions(rows)
     headers = ["workload"]
     for key in keys:
         headers += [f"{key}_err", f"{key}_speedup"]
@@ -277,6 +279,97 @@ def _cmd_trace(args) -> None:
     print(f"wrote {len(paths)} trace files ({total / 1e6:.1f} MB) to {args.out}")
 
 
+def _cmd_trace_export(args) -> int:
+    """Export telemetry in a standard format (Chrome trace, JSONL,
+    Prometheus). With a workload, runs the requested methods first so the
+    exported trace covers a real evaluation; with --from-manifest, reuses
+    the spans a previous ``--trace-out`` manifest embedded."""
+    from pathlib import Path
+
+    from repro.observability import export as obs_export
+    from repro.observability import metrics as obs_metrics
+
+    if args.from_manifest:
+        manifest = obs_manifest.RunManifest.load(args.from_manifest)
+        records = obs_export.records_from_dicts(manifest.spans)
+        snapshot = manifest.metrics
+        if args.format != "prometheus" and not records:
+            print(
+                f"error: {args.from_manifest} embeds no spans "
+                "(was it written with --trace-out?)",
+                file=sys.stderr,
+            )
+            return 2
+    else:
+        if not args.workload:
+            print("error: a workload (or --from-manifest) is required",
+                  file=sys.stderr)
+            return 2
+        mark = obs_spans.mark()
+        context = build_context(
+            args.workload, args.cap, fault_plan=_fault_plan(args)
+        )
+        for request in _parse_methods(args.methods, args.theta):
+            evaluate_method(request.method, context, request.config)
+        records = obs_spans.records(since=mark)
+        snapshot = obs_metrics.get_registry().snapshot()
+
+    out = Path(args.out) if args.out else None
+    if args.format == "chrome":
+        out = out or Path("trace.json")
+        obs_export.write_chrome_trace(out, records)
+    elif args.format == "jsonl":
+        out = out or Path("trace.jsonl")
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(
+            obs_export.export_jsonl(records, structural=args.structural)
+        )
+    else:  # prometheus
+        out = out or Path("metrics.prom")
+        obs_export.write_prometheus(out, snapshot)
+    print(f"wrote {args.format} export to {out}")
+    return 0
+
+
+def _cmd_attribute(args) -> int:
+    """Explain a prediction: signed per-kernel/per-stratum error shares."""
+    import json as json_module
+    from pathlib import Path
+
+    from repro.observability.report import render_attribution
+
+    if args.from_manifest:
+        manifest = obs_manifest.RunManifest.load(args.from_manifest)
+        entries = list(manifest.attribution)
+        if not entries:
+            print(
+                f"error: {args.from_manifest} carries no attribution entries",
+                file=sys.stderr,
+            )
+            return 2
+    else:
+        if not args.workload:
+            print("error: a workload (or --from-manifest) is required",
+                  file=sys.stderr)
+            return 2
+        context = build_context(
+            args.workload, args.cap, fault_plan=_fault_plan(args)
+        )
+        entries = []
+        for request in _parse_methods(args.methods, args.theta):
+            result = evaluate_method(request.method, context, request.config)
+            if result.attribution is not None:
+                entries.append(result.attribution.to_dict())
+    _trace_artifacts["attribution"] = entries
+    print(render_attribution(entries, top=args.top))
+    if args.json:
+        path = Path(args.json)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json_module.dumps(entries, indent=2, sort_keys=True) + "\n")
+        print(f"[attribute] JSON written to {path}", file=sys.stderr)
+    return 0
+
+
 def _cmd_simulate(args) -> None:
     """Simulate previously written trace files cycle by cycle (§V-G)."""
     from pathlib import Path
@@ -311,12 +404,16 @@ def _cmd_sample(args) -> None:
     print(f"workload        : {context.label}")
     print(f"invocations     : {len(context.sieve_table)}")
     print(f"golden cycles   : {context.golden.total_cycles:,}")
+    attributions = []
     for request in requests:
         result = evaluate_method(request.method, context, request.config)
+        if result.attribution is not None:
+            attributions.append(result.attribution.to_dict())
         print(
             f"{result.method:12s}: {result.num_representatives:4d} reps, "
             f"error {percent(result.error)}, speedup {times(result.speedup)}"
         )
+    _trace_artifacts["attribution"] = attributions
 
 
 def _cmd_validate(args) -> int:
@@ -472,7 +569,15 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         default=None,
         help="write a run manifest (per-stage timings, accuracy rows, "
-        "cache stats) to PATH as JSON; render it with 'sieve-repro report'",
+        "cache stats, attribution, raw spans) to PATH as JSON; render it "
+        "with 'sieve-repro report', export it with 'trace export'",
+    )
+    parser.add_argument(
+        "--stream-spans",
+        metavar="PATH",
+        default=None,
+        help="stream finished spans to PATH as JSONL while the command "
+        "runs (crash-safe prefix; worker spans merge in task order)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
     commands = {
@@ -545,16 +650,81 @@ def build_parser() -> argparse.ArgumentParser:
     report.set_defaults(handler=_cmd_report)
 
     trace = sub.add_parser(
-        "trace", help="write trace files for a workload's Sieve selection"
+        "trace",
+        help="selection traces and telemetry exports "
+        "('trace <workload>' still writes selection traces)",
     )
-    trace.add_argument("workload")
-    trace.add_argument("--out", default="traces")
-    trace.add_argument("--theta", type=float, default=0.4)
-    trace.add_argument("--limit", type=int, default=None,
-                       help="trace only the first N representatives")
-    trace.add_argument("--max-warps", type=int, default=16)
-    trace.add_argument("--max-insns", type=int, default=512)
-    trace.set_defaults(handler=_cmd_trace)
+    trace_sub = trace.add_subparsers(dest="trace_command", required=True)
+    selection = trace_sub.add_parser(
+        "selection", help="write trace files for a workload's Sieve selection"
+    )
+    selection.add_argument("workload")
+    selection.add_argument("--out", default="traces")
+    selection.add_argument("--theta", type=float, default=0.4)
+    selection.add_argument("--limit", type=int, default=None,
+                           help="trace only the first N representatives")
+    selection.add_argument("--max-warps", type=int, default=16)
+    selection.add_argument("--max-insns", type=int, default=512)
+    selection.set_defaults(handler=_cmd_trace)
+
+    export = trace_sub.add_parser(
+        "export",
+        help="export telemetry: Chrome/Perfetto trace, canonical JSONL "
+        "or Prometheus textfile",
+    )
+    export.add_argument(
+        "workload", nargs="?", default=None,
+        help="workload to evaluate before exporting (omit with --from-manifest)",
+    )
+    export.add_argument(
+        "--format", choices=("chrome", "jsonl", "prometheus"), default="chrome"
+    )
+    export.add_argument(
+        "--out", default=None,
+        help="output path (default: trace.json / trace.jsonl / metrics.prom)",
+    )
+    export.add_argument(
+        "--structural", action="store_true",
+        help="jsonl only: drop timings/ids, leaving run-invariant structure",
+    )
+    export.add_argument("--theta", type=float, default=0.4)
+    export.add_argument(
+        "--methods", default="sieve,pks",
+        help="methods to run before exporting (default: sieve,pks)",
+    )
+    export.add_argument(
+        "--from-manifest", default=None,
+        help="export from the spans/metrics a --trace-out manifest embedded",
+    )
+    export.set_defaults(handler=_cmd_trace_export)
+
+    attribute = sub.add_parser(
+        "attribute",
+        help="decompose a method's prediction error into signed per-kernel "
+        "and per-stratum contributions",
+    )
+    attribute.add_argument(
+        "workload", nargs="?", default=None,
+        help="workload to attribute (omit with --from-manifest)",
+    )
+    attribute.add_argument("--theta", type=float, default=0.4)
+    attribute.add_argument(
+        "--methods", default="sieve,pks",
+        help="comma-separated registered method names (default: sieve,pks)",
+    )
+    attribute.add_argument(
+        "--top", type=int, default=8,
+        help="rows per table, ranked by |contribution| (default 8)",
+    )
+    attribute.add_argument(
+        "--json", metavar="PATH", default=None,
+        help="also write the attribution entries to PATH as JSON",
+    )
+    attribute.add_argument(
+        "--from-manifest", default=None,
+        help="render the attributions a --trace-out manifest recorded",
+    )
+    attribute.set_defaults(handler=_cmd_attribute)
 
     simulate = sub.add_parser(
         "simulate", help="cycle-level simulation of written trace files"
@@ -614,13 +784,50 @@ def _write_manifest(args, captured: list[dict]) -> None:
         since=_trace_artifacts["spans_mark"],
         events_since=_trace_artifacts["events_mark"],
         created=datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        include_spans=True,
+        attribution=_trace_artifacts.get("attribution", ()),
     )
     path = manifest.save(args.trace_out)
     print(f"[trace] manifest written to {path}", file=sys.stderr)
 
 
+#: Global flags that consume the next token; the trace shim must skip
+#: their values when hunting for the subcommand position.
+_VALUE_FLAGS = frozenset(
+    {
+        "--cap", "--jobs", "--cache-dir", "--inject-faults", "--fault-seed",
+        "--trace-out", "--stream-spans",
+    }
+)
+
+
+def _shim_trace_argv(argv: list[str]) -> list[str]:
+    """Keep ``trace <workload>`` working now that trace has subcommands.
+
+    ``trace`` grew ``selection``/``export`` subparsers; historical usage
+    (``sieve-repro trace cactus/gru --out dir``) is rewritten to
+    ``trace selection ...`` before parsing.
+    """
+    index = 0
+    while index < len(argv):
+        token = argv[index]
+        if token in _VALUE_FLAGS:
+            index += 2
+            continue
+        if token.startswith("-"):
+            index += 1
+            continue
+        if token == "trace":
+            following = argv[index + 1] if index + 1 < len(argv) else None
+            if following not in ("selection", "export", "-h", "--help", None):
+                return argv[: index + 1] + ["selection"] + argv[index + 1 :]
+        return argv
+    return argv
+
+
 def main(argv: list[str] | None = None) -> int:
-    args = build_parser().parse_args(argv)
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    args = build_parser().parse_args(_shim_trace_argv(argv))
     unsubscribe = None
     if not args.quiet_diagnostics:
         unsubscribe = diagnostics.subscribe(
@@ -639,6 +846,12 @@ def main(argv: list[str] | None = None) -> int:
     _trace_artifacts.clear()
     _trace_artifacts["spans_mark"] = obs_spans.mark()
     _trace_artifacts["events_mark"] = obs_manifest.events_mark()
+    stream_sink = None
+    if args.stream_spans:
+        from repro.observability.export import JsonlStreamSink
+
+        stream_sink = JsonlStreamSink(args.stream_spans)
+        obs_spans.add_sink(stream_sink)
     try:
         if args.inject_faults and args.command not in FAULT_AWARE_COMMANDS:
             diagnostics.emit(
@@ -665,6 +878,9 @@ def main(argv: list[str] | None = None) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     finally:
+        if stream_sink is not None:
+            obs_spans.remove_sink(stream_sink)
+            stream_sink.close()
         capture_unsubscribe()
         if unsubscribe is not None:
             unsubscribe()

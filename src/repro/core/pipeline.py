@@ -154,6 +154,11 @@ class SievePipeline:
                 )
                 weights = np.full(len(reps), 1.0 / len(reps))
             predicted_ipc = predict_ipc(ipc, weights)
+            # Per-representative cycle terms: N * w_i / IPC_i. Their sum is
+            # the predicted cycle count (up to float reassociation); the
+            # attribution layer decomposes prediction error with them.
+            normalized = weights / weights.sum()
+            contributions = selection.total_instructions * normalized / ipc
             return PredictionResult(
                 workload=selection.workload,
                 method=selection.method,
@@ -162,4 +167,5 @@ class SievePipeline:
                 ),
                 predicted_ipc=predicted_ipc,
                 num_representatives=len(reps),
+                contributions=tuple(float(c) for c in contributions),
             )

@@ -21,13 +21,25 @@ from repro.utils.validation import require
 
 @dataclass(frozen=True)
 class PredictionResult:
-    """A sampling method's application-level performance prediction."""
+    """A sampling method's application-level performance prediction.
+
+    ``contributions`` decomposes ``predicted_cycles`` into one signed
+    per-representative term (aligned with the selection's representative
+    order): for Sieve this is ``N * w_i / IPC_i`` (the sensitivity basis
+    of the weighted-harmonic-mean predictor), for PKS
+    ``group_size_i * cycles_i``, and for the statistical baselines the
+    Horvitz-Thompson per-sample term. The terms sum to
+    ``predicted_cycles`` up to float reassociation, which is what the
+    error-attribution layer (:mod:`repro.observability.attribution`)
+    builds on. Empty for predictors that provide no decomposition.
+    """
 
     workload: str
     method: str
     predicted_cycles: float
     predicted_ipc: float
     num_representatives: int
+    contributions: tuple[float, ...] = ()
 
     def error_against(self, measured_cycles: int) -> float:
         """The paper's error metric: |predicted - measured| / measured."""

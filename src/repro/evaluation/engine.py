@@ -56,7 +56,9 @@ if TYPE_CHECKING:  # annotation-only; keeps baselines out of the import graph
     from repro.core.config import SieveConfig
 
 #: Bump when the cached payload layout changes; old entries become misses.
-CACHE_SCHEMA = 2
+#: 3: MethodResult grew ``attribution`` (and PredictionResult
+#: ``contributions``), changing the pickled payload shape.
+CACHE_SCHEMA = 3
 
 #: The default method comparison (the paper's headline Sieve-vs-PKS).
 KNOWN_METHODS = ("sieve", "pks")
@@ -194,20 +196,30 @@ def run_task(task: EvaluationTask) -> dict[str, MethodResult]:
 
 def run_task_with_telemetry(
     task: EvaluationTask,
-) -> tuple[dict[str, MethodResult], tuple, dict]:
+) -> tuple[dict[str, MethodResult], tuple, dict, tuple]:
     """Pool worker: run a task and ship its telemetry back to the parent.
 
-    The worker's span records and metrics registry are reset at task
-    start (the fork inherited the parent's — counting that twice would
-    corrupt the merge), so the returned snapshot is exactly this task's
-    delta. The parent adopts spans under its fan-out span and merges
-    metric snapshots in task input order, which keeps the merged
-    registry byte-equal to a serial run's.
+    The worker's span records, metrics registry and event list are reset
+    at task start (the fork inherited the parent's — counting that twice
+    would corrupt the merge), so the returned snapshot is exactly this
+    task's delta. Live sinks are also dropped: they wrap parent-owned
+    file handles, and a forked worker emitting into them would interleave
+    with the parent's stream. The parent adopts spans under its fan-out
+    span and merges metric snapshots and events in task input order
+    (``pool.map`` preserves it), which keeps the merged telemetry
+    byte-equal to a serial run's.
     """
     spans.reset()
+    spans.clear_sinks()
     metrics.get_registry().reset()
+    obs_manifest.reset_events()
     results = run_task(task)
-    return results, spans.records(), metrics.get_registry().snapshot()
+    return (
+        results,
+        spans.records(),
+        metrics.get_registry().snapshot(),
+        obs_manifest.events(),
+    )
 
 
 def _pool_map(jobs: int, tasks: Sequence[EvaluationTask]) -> list[dict]:
@@ -225,11 +237,12 @@ def _pool_map(jobs: int, tasks: Sequence[EvaluationTask]) -> list[dict]:
         with span("engine.pool", jobs=jobs, tasks=len(tasks)) as pool_span:
             results = []
             registry = metrics.get_registry()
-            for task_results, worker_spans, snapshot in pool.map(
+            for task_results, worker_spans, snapshot, worker_events in pool.map(
                 run_task_with_telemetry, tasks
             ):
                 spans.adopt(worker_spans, parent_id=pool_span.span_id, proc="worker")
                 registry.merge(snapshot)
+                obs_manifest.extend_events(worker_events)
                 results.append(task_results)
             return results
 

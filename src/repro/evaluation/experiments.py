@@ -174,6 +174,31 @@ def run_experiment(
     ]
 
 
+def collect_attributions(rows) -> list[dict]:
+    """Error-attribution dicts from experiment/comparison rows, in order.
+
+    Accepts :class:`ExperimentRow`\\ s (results keyed by request key) and
+    :class:`ComparisonRow`\\ s alike; results without an attribution
+    (foreign methods, pre-attribution cache entries) are skipped. The
+    output feeds ``RunManifest.attribution`` and the per-figure
+    ``ATTRIBUTION_*.json`` bench artifacts.
+    """
+    collected: list[dict] = []
+    for row in rows:
+        if isinstance(row, ComparisonRow):
+            results: Mapping[str, MethodResult] = {
+                "sieve": row.sieve,
+                "pks": row.pks,
+            }
+        else:
+            results = row.results
+        for key in results:
+            attribution = getattr(results[key], "attribution", None)
+            if attribution is not None:
+                collected.append(attribution.to_dict())
+    return collected
+
+
 # --------------------------------------------------------------------- #
 # Table I / Table II
 

@@ -21,6 +21,7 @@ from repro.evaluation.imputation import cycles_in_table_order
 from repro.evaluation.metrics import prediction_error, simulation_speedup
 from repro.methods import get_method
 from repro.observability import metrics, span
+from repro.observability.attribution import ErrorAttribution, attribute_error
 
 
 @dataclass(frozen=True)
@@ -36,6 +37,9 @@ class MethodResult:
     predicted_cycles: float
     measured_cycles: int
     selection: SampleSelection
+    #: Signed per-kernel / per-stratum decomposition of ``error``
+    #: (see :mod:`repro.observability.attribution`).
+    attribution: ErrorAttribution | None = None
 
     @property
     def error_percent(self) -> float:
@@ -61,6 +65,7 @@ def evaluate_method(
         prediction = method.predict(selection, context.golden, config)
         cycles = cycles_in_table_order(method.profile_table(context), context.golden)
         cov = weighted_cycle_cov(method.group_rows(selection), cycles)
+        attribution = attribute_error(method, selection, prediction, context, config)
     metrics.inc("evaluate.method", method=method_name)
     # Accuracy is judged against the *clean* reference (context.truth);
     # under fault injection it differs from the corrupted context.golden
@@ -75,6 +80,7 @@ def evaluate_method(
         predicted_cycles=prediction.predicted_cycles,
         measured_cycles=context.truth.total_cycles,
         selection=selection,
+        attribution=attribution,
     )
 
 

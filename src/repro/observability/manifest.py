@@ -27,6 +27,7 @@ from pathlib import Path
 from typing import Iterable, Mapping, Sequence
 
 from repro.observability import metrics, spans
+from repro.observability.export import record_to_dict as _span_dict
 
 #: Bump when the manifest layout changes incompatibly.
 MANIFEST_SCHEMA = 1
@@ -71,6 +72,11 @@ def events_mark() -> int:
 
 def reset_events() -> None:
     _events.clear()
+
+
+def extend_events(shipped: Iterable[Mapping]) -> None:
+    """Merge events shipped from a worker process (engine pool merge)."""
+    _events.extend(dict(event) for event in shipped)
 
 
 # ------------------------------------------------------------------ stages
@@ -155,6 +161,12 @@ class RunManifest:
     metrics: dict = field(default_factory=dict)
     events: tuple[dict, ...] = ()
     diagnostics: tuple[dict, ...] = ()
+    #: Raw span records (dict form) when the run asked for an exportable
+    #: trace; empty by default — bench baselines stay lean.
+    spans: tuple[dict, ...] = ()
+    #: Per-workload prediction-error attributions
+    #: (:meth:`repro.observability.attribution.ErrorAttribution.to_dict`).
+    attribution: tuple[dict, ...] = ()
 
     def stage(self, name: str) -> StageStat | None:
         for stage in self.stages:
@@ -174,6 +186,8 @@ class RunManifest:
         payload["workloads"] = [dict(row) for row in self.workloads]
         payload["events"] = [dict(event) for event in self.events]
         payload["diagnostics"] = [dict(d) for d in self.diagnostics]
+        payload["spans"] = [dict(record) for record in self.spans]
+        payload["attribution"] = [dict(entry) for entry in self.attribution]
         return payload
 
     def to_json(self) -> str:
@@ -199,6 +213,10 @@ class RunManifest:
             metrics=dict(payload.get("metrics", {})),
             events=tuple(dict(event) for event in payload.get("events", [])),
             diagnostics=tuple(dict(d) for d in payload.get("diagnostics", [])),
+            spans=tuple(dict(record) for record in payload.get("spans", [])),
+            attribution=tuple(
+                dict(entry) for entry in payload.get("attribution", [])
+            ),
         )
 
     @classmethod
@@ -229,12 +247,18 @@ def collect_manifest(
     total_wall_s: float | None = None,
     total_cpu_s: float | None = None,
     created: str = "",
+    include_spans: bool = False,
+    attribution: Sequence[Mapping] = (),
 ) -> RunManifest:
     """Assemble a manifest from the telemetry recorded since ``since``.
 
     ``total_wall_s`` defaults to the summed wall time of the root spans
     in the window (for the CLI that is the single span wrapping the
-    command handler).
+    command handler). ``include_spans=True`` embeds the window's raw
+    span records so exporters (``trace export``) can rebuild a timeline
+    from the saved manifest; ``attribution`` carries per-workload
+    error-attribution dicts
+    (:meth:`repro.observability.attribution.ErrorAttribution.to_dict`).
     """
     window = spans.records(since=since)
     if total_wall_s is None:
@@ -269,6 +293,12 @@ def collect_manifest(
         metrics=metrics.get_registry().snapshot(),
         events=events(since=events_since),
         diagnostics=tuple(dict(d) for d in diagnostics),
+        spans=tuple(
+            _span_dict(record) for record in window
+        )
+        if include_spans
+        else (),
+        attribution=tuple(dict(entry) for entry in attribution),
     )
 
 

@@ -78,6 +78,10 @@ def render_manifest(manifest: RunManifest) -> str:
         lines.append("")
         for key in sorted(manifest.aggregates):
             lines.append(f"{key}: {manifest.aggregates[key]:.6g}")
+
+    if manifest.attribution:
+        lines.append("")
+        lines.append(render_attribution(manifest.attribution))
     return "\n".join(lines)
 
 
@@ -85,6 +89,96 @@ def _format_value(key: str, value: object) -> object:
     if isinstance(value, float) and (key.endswith("_error") or key.endswith("_cov")):
         return percent(value)
     return value
+
+
+def _signed_percent(value: float) -> str:
+    return f"{value * 100.0:+.3f}%"
+
+
+def render_attribution(entries, top: int = 8) -> str:
+    """Per-workload error attributions as per-kernel/per-stratum tables.
+
+    ``entries`` are attribution dicts (manifest form or
+    :meth:`~repro.observability.attribution.ErrorAttribution.to_dict`).
+    Rows are ranked by absolute contribution; ``top`` bounds each table.
+    """
+    lines = []
+    for entry in entries:
+        if lines:
+            lines.append("")
+        lines.append(
+            f"attribution {entry['workload']} · {entry['method']}: "
+            f"signed error {_signed_percent(entry['signed_error'])}"
+        )
+        kernels = sorted(
+            entry.get("per_kernel", ()),
+            key=lambda k: abs(k["contribution"]),
+            reverse=True,
+        )[:top]
+        if kernels:
+            lines.append(
+                format_table(
+                    ["kernel", "predicted", "measured", "contribution", "reps"],
+                    [
+                        (
+                            k["kernel_name"],
+                            f"{k['predicted_cycles']:.4g}",
+                            f"{k['measured_cycles']:.4g}",
+                            _signed_percent(k["contribution"]),
+                            k.get("num_representatives", 0),
+                        )
+                        for k in kernels
+                    ],
+                )
+            )
+        groups = sorted(
+            entry.get("per_group", ()),
+            key=lambda g: abs(g["contribution"]),
+            reverse=True,
+        )[:top]
+        if groups:
+            note = "" if entry.get("groups_partition") else " (non-partitioning)"
+            lines.append(f"per-group{note}:")
+            lines.append(
+                format_table(
+                    ["group", "kernel", "size", "weight", "contribution"],
+                    [
+                        (
+                            g["group"],
+                            g["kernel_name"],
+                            g["size"],
+                            f"{g['weight']:.4f}",
+                            _signed_percent(g["contribution"]),
+                        )
+                        for g in groups
+                    ],
+                )
+            )
+        unhealthy = sorted(
+            (h for h in entry.get("health", ()) if h["cov_drift"] > 0),
+            key=lambda h: h["cov_drift"],
+            reverse=True,
+        )[:top]
+        if unhealthy:
+            lines.append("strata above the CoV target:")
+            lines.append(
+                format_table(
+                    ["stratum", "tier", "size", "cov", "drift", "rep dist", "balance"],
+                    [
+                        (
+                            h["group"],
+                            h["tier"],
+                            h["size"],
+                            f"{h['insn_cov']:.3f}",
+                            f"{h['cov_drift']:+.3f}",
+                            f"{h['rep_distance']:.3f}",
+                            f"{h['split_balance']:.2f}",
+                        )
+                        for h in unhealthy
+                    ],
+                )
+            )
+    return "\n".join(lines)
 
 
 def render_diff(
@@ -129,4 +223,42 @@ def render_diff(
         lines.extend(f"  {regression}" for regression in regressions)
     else:
         lines.append("no regressions.")
+
+    attribution = _diff_attribution(baseline, current)
+    if attribution:
+        lines.append("")
+        lines.append(attribution)
     return "\n".join(lines)
+
+
+def _diff_attribution(baseline: RunManifest, current: RunManifest) -> str:
+    """Signed-error drift per (workload, method), with the kernel that
+    moved the most — empty when neither manifest carries attributions."""
+    base = {(e["workload"], e["method"]): e for e in baseline.attribution}
+    cur = {(e["workload"], e["method"]): e for e in current.attribution}
+    shared = sorted(set(base) & set(cur))
+    if not shared:
+        return ""
+    rows = []
+    for key in shared:
+        b, c = base[key], cur[key]
+        b_kernels = {k["kernel_name"]: k["contribution"] for k in b.get("per_kernel", ())}
+        c_kernels = {k["kernel_name"]: k["contribution"] for k in c.get("per_kernel", ())}
+        mover, shift = "-", 0.0
+        for name in set(b_kernels) | set(c_kernels):
+            delta = c_kernels.get(name, 0.0) - b_kernels.get(name, 0.0)
+            if abs(delta) > abs(shift):
+                mover, shift = name, delta
+        rows.append(
+            (
+                f"{key[0]} · {key[1]}",
+                _signed_percent(b["signed_error"]),
+                _signed_percent(c["signed_error"]),
+                _signed_percent(c["signed_error"] - b["signed_error"]),
+                f"{mover} ({_signed_percent(shift)})" if mover != "-" else "-",
+            )
+        )
+    return "attribution drift:\n" + format_table(
+        ["workload · method", "baseline", "current", "delta", "largest kernel shift"],
+        rows,
+    )

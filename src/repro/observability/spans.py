@@ -38,7 +38,13 @@ MAX_RECORDS = 500_000
 
 @dataclass(frozen=True)
 class SpanRecord:
-    """One finished span. ``wall_s``/``cpu_s`` are durations, not stamps."""
+    """One finished span. ``wall_s``/``cpu_s`` are durations, not stamps.
+
+    ``start_s`` is the span's ``perf_counter`` reading at entry — an
+    arbitrary-origin, *per-process* stamp. Exporters that lay spans on a
+    timeline (:mod:`repro.observability.export`) normalize it per track;
+    deterministic (structural) exports exclude it entirely.
+    """
 
     name: str
     wall_s: float
@@ -49,6 +55,7 @@ class SpanRecord:
     error: str | None = None  # exception type name if the body raised
     proc: str = "main"  # "main", or "worker" for pool-shipped spans
     attrs: dict = field(default_factory=dict)
+    start_s: float = 0.0  # per-process perf_counter stamp at __enter__
 
 
 class _NullSpan:
@@ -72,6 +79,28 @@ _records: list[SpanRecord] = []
 _dropped = 0
 _next_id = 0
 _tls = threading.local()
+
+#: Live sinks notified of every *in-process* finished span (adopted
+#: worker records are skipped — their originating process already
+#: streamed them). See :class:`repro.observability.export.JsonlStreamSink`.
+_sinks: list = []
+
+
+def add_sink(sink) -> None:
+    """Register a live sink; it must expose ``emit(record: SpanRecord)``."""
+    _sinks.append(sink)
+
+
+def remove_sink(sink) -> None:
+    try:
+        _sinks.remove(sink)
+    except ValueError:
+        pass
+
+
+def clear_sinks() -> None:
+    """Drop every registered sink (pool workers after fork, tests)."""
+    _sinks.clear()
 
 
 def _stack() -> list[int]:
@@ -97,6 +126,9 @@ def _append(record: SpanRecord) -> None:
             overflow = len(_records) - MAX_RECORDS
             del _records[:overflow]
             _dropped += overflow
+    if _sinks and record.proc == "main":
+        for sink in _sinks:
+            sink.emit(record)
 
 
 class _Span:
@@ -137,6 +169,7 @@ class _Span:
                 depth=self.depth,
                 error=None if exc_type is None else exc_type.__name__,
                 attrs=self.attrs,
+                start_s=self._wall0,
             )
         )
         return False  # never swallow the body's exception
@@ -215,6 +248,13 @@ def adopt(
         )
     for record in adopted:
         _append(record)
+    # _append only streams in-process ("main") records; adopted batches
+    # are streamed here instead, in adoption order — the engine adopts in
+    # task input order, so the stream stays deterministic under --jobs.
+    if _sinks:
+        for record in adopted:
+            for sink in _sinks:
+                sink.emit(record)
     return tuple(adopted)
 
 

@@ -9,6 +9,7 @@ the registry path across arbitrary workloads, caps and configs — the
 same guarantee that keeps the committed fig3/4/6 goldens unchanged.
 """
 
+import dataclasses
 import pickle
 
 from hypothesis import HealthCheck, given, settings
@@ -24,6 +25,17 @@ from repro.evaluation.metrics import prediction_error, simulation_speedup
 from repro.evaluation.runner import MethodResult, evaluate_method
 
 POOL = ("cactus/gru", "cactus/lmc", "mlperf/bert")
+
+
+def strip_attribution(result: MethodResult) -> MethodResult:
+    """Drop the attribution the registry path now attaches.
+
+    The legacy bodies below predate error attribution; the equivalence
+    guarantee is about selection/prediction numerics, which the pickle
+    compare still covers byte-for-byte. Attribution correctness has its
+    own property tests (``tests/observability/test_attribution.py``).
+    """
+    return dataclasses.replace(result, attribution=None)
 
 
 def legacy_evaluate_sieve(context, config=None) -> MethodResult:
@@ -81,7 +93,7 @@ def test_evaluate_method_sieve_byte_identical_to_legacy(label, cap, theta):
     config = SieveConfig(theta=theta)
     generic = evaluate_method("sieve", context, config)
     legacy = legacy_evaluate_sieve(context, config)
-    assert pickle.dumps(generic) == pickle.dumps(legacy)
+    assert pickle.dumps(strip_attribution(generic)) == pickle.dumps(legacy)
 
 
 @settings(
@@ -99,14 +111,14 @@ def test_evaluate_method_pks_byte_identical_to_legacy(label, cap, policy):
     config = PksConfig(selection_policy=policy)
     generic = evaluate_method("pks", context, config)
     legacy = legacy_evaluate_pks(context, config)
-    assert pickle.dumps(generic) == pickle.dumps(legacy)
+    assert pickle.dumps(strip_attribution(generic)) == pickle.dumps(legacy)
 
 
 def test_default_config_matches_legacy_default(small_context):
     """``config=None`` resolves to the same defaults the old path used."""
-    assert pickle.dumps(evaluate_method("sieve", small_context)) == pickle.dumps(
-        legacy_evaluate_sieve(small_context)
-    )
-    assert pickle.dumps(evaluate_method("pks", small_context)) == pickle.dumps(
-        legacy_evaluate_pks(small_context)
-    )
+    assert pickle.dumps(
+        strip_attribution(evaluate_method("sieve", small_context))
+    ) == pickle.dumps(legacy_evaluate_sieve(small_context))
+    assert pickle.dumps(
+        strip_attribution(evaluate_method("pks", small_context))
+    ) == pickle.dumps(legacy_evaluate_pks(small_context))

@@ -1,7 +1,14 @@
 """Smoke tests for the manifest renderers."""
 
+import dataclasses
+
 from repro.observability.manifest import RunManifest, StageStat, diff_manifests
-from repro.observability.report import render_diff, render_manifest
+from repro.observability.report import (
+    _diff_attribution,
+    render_attribution,
+    render_diff,
+    render_manifest,
+)
 
 
 def _manifest(total, stage_wall, error=0.012):
@@ -52,3 +59,152 @@ def test_render_diff_clean():
     baseline = _manifest(1.0, 0.6)
     text = render_diff(baseline, baseline, [])
     assert "no regressions." in text
+
+
+def _with_stages(manifest, stages):
+    return dataclasses.replace(manifest, stages=tuple(stages))
+
+
+def _stage(name, wall):
+    return StageStat(name=name, count=1, wall_s=wall, self_s=wall, cpu_s=wall)
+
+
+def test_render_diff_stage_present_in_only_one_manifest():
+    baseline = _with_stages(
+        _manifest(1.0, 0.6), [_stage("sieve.stratify", 0.6), _stage("old.only", 0.2)]
+    )
+    current = _with_stages(
+        _manifest(1.0, 0.6), [_stage("sieve.stratify", 0.6), _stage("new.only", 0.3)]
+    )
+    regressions = diff_manifests(baseline, current)
+    text = render_diff(baseline, current, regressions)
+    # The vanished stage renders as absent (and gates); the new one as new.
+    assert ("old.only", "absent") in [
+        (line.split()[0], line.split()[2]) for line in text.splitlines()
+        if line.startswith("old.only")
+    ]
+    assert any(
+        line.startswith("new.only") and "absent" in line and "new" in line
+        for line in text.splitlines()
+    )
+    assert any(r.kind == "stage-missing" and r.name == "old.only" for r in regressions)
+
+
+def test_render_diff_zero_wall_stage_no_zero_division():
+    baseline = _with_stages(_manifest(1.0, 0.6), [_stage("instant", 0.0)])
+    current = _with_stages(_manifest(1.0, 0.6), [_stage("instant", 0.0)])
+    regressions = diff_manifests(baseline, current)
+    text = render_diff(baseline, current, regressions)  # must not raise
+    assert regressions == []
+    instant = next(line for line in text.splitlines() if line.startswith("instant"))
+    assert instant.rstrip().endswith("-")  # ratio is a dash, not a division
+
+
+def test_render_diff_zero_total_wall_no_zero_division():
+    baseline = _manifest(0.0, 0.0)
+    current = _manifest(0.0, 0.0)
+    regressions = diff_manifests(baseline, current)
+    assert regressions == []
+    render_diff(baseline, current, regressions)
+    render_manifest(baseline)  # stage share falls back without dividing by 0
+
+
+# --------------------------------------------------------------------- #
+# Attribution rendering
+
+
+def _attribution_entry(signed=-0.02, kernel_contribution=-0.015):
+    return {
+        "workload": "cactus/gru",
+        "method": "sieve",
+        "predicted_cycles": 9.8e8,
+        "measured_cycles": 1.0e9,
+        "signed_error": signed,
+        "per_kernel": [
+            {
+                "kernel_name": "gru_k000",
+                "predicted_cycles": 4.0e8,
+                "measured_cycles": 4.15e8,
+                "contribution": kernel_contribution,
+                "num_representatives": 2,
+            },
+            {
+                "kernel_name": "gru_k001",
+                "predicted_cycles": 5.8e8,
+                "measured_cycles": 5.85e8,
+                "contribution": signed - kernel_contribution,
+                "num_representatives": 1,
+            },
+        ],
+        "per_group": [
+            {
+                "group": "gru_k000/s0",
+                "kernel_name": "gru_k000",
+                "size": 51,
+                "weight": 0.1,
+                "predicted_cycles": 4.0e8,
+                "measured_cycles": 4.15e8,
+                "contribution": kernel_contribution,
+            },
+        ],
+        "groups_partition": True,
+        "health": [
+            {
+                "group": "gru_k000/s0",
+                "kernel_name": "gru_k000",
+                "tier": "IRREGULAR",
+                "size": 51,
+                "occupancy": 0.12,
+                "insn_cov": 0.55,
+                "cov_drift": 0.15,
+                "rep_distance": 0.08,
+                "split_balance": 0.9,
+            },
+        ],
+    }
+
+
+def test_render_attribution_tables():
+    text = render_attribution([_attribution_entry()])
+    assert "cactus/gru · sieve" in text
+    assert "-2.000%" in text  # signed error, signed formatting
+    assert "gru_k000" in text
+    assert "strata above the CoV target:" in text
+    assert "+0.150" in text  # cov drift rendered signed
+
+
+def test_render_attribution_marks_non_partitioning_groups():
+    entry = _attribution_entry()
+    entry["groups_partition"] = False
+    text = render_attribution([entry])
+    assert "per-group (non-partitioning):" in text
+
+
+def test_render_attribution_top_bounds_rows():
+    entry = _attribution_entry()
+    text = render_attribution([entry], top=1)
+    # Only the largest |contribution| kernel survives the cut.
+    assert "gru_k000" in text
+    assert text.count("gru_k001") == 0
+
+
+def test_diff_attribution_reports_drift_and_largest_mover():
+    baseline = dataclasses.replace(
+        _manifest(1.0, 0.6), attribution=(_attribution_entry(),)
+    )
+    current = dataclasses.replace(
+        _manifest(1.0, 0.6),
+        attribution=(_attribution_entry(signed=-0.05, kernel_contribution=-0.045),),
+    )
+    text = _diff_attribution(baseline, current)
+    assert "attribution drift:" in text
+    assert "cactus/gru · sieve" in text
+    assert "-3.000%" in text  # delta between the signed errors
+    assert "gru_k000" in text  # the kernel that moved most
+
+
+def test_diff_attribution_empty_when_absent():
+    baseline = _manifest(1.0, 0.6)
+    assert _diff_attribution(baseline, baseline) == ""
+    # And render_diff stays attribution-free rather than crashing.
+    assert "attribution drift" not in render_diff(baseline, baseline, [])
