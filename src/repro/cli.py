@@ -46,7 +46,7 @@ FAULT_AWARE_COMMANDS = frozenset({"fig3", "fig8", "compare", "sample", "attribut
 
 #: Commands whose handlers route work through the evaluation engine
 #: (and therefore honor --jobs / --no-cache / --cache-dir).
-ENGINE_AWARE_COMMANDS = frozenset({"fig3", "fig8", "compare"})
+ENGINE_AWARE_COMMANDS = frozenset({"fig3", "fig8", "compare", "fuzz"})
 
 #: Artifacts the current command deposited for --trace-out: the engine it
 #: ran through and the comparison rows/aggregates it printed. Reset per
@@ -499,6 +499,82 @@ def _cmd_report(args) -> int:
     return 0
 
 
+def _cmd_fuzz(args) -> int:
+    """Run (or resume) a fuzzing campaign; or verify the committed suite."""
+    from pathlib import Path
+
+    from repro.evaluation.engine import RetryPolicy
+    from repro.fuzz import FuzzConfig, run_campaign
+    from repro.fuzz.campaign import load_findings
+    from repro.observability.report import render_findings
+    from repro.workloads.adversarial import ADVERSARIAL_ENTRIES, verify_suite
+
+    if args.verify_suite:
+        rows = verify_suite(engine=_engine(args))
+        print(format_table(
+            ["workload", "method", "expected", "actual", "ok"],
+            [
+                (r["label"], r["method"], f"{r['expected']:.6f}",
+                 f"{r['actual']:.6f}", "yes" if r["ok"] else "NO")
+                for r in rows
+            ],
+        ))
+        bad = [r for r in rows if not r["ok"]]
+        if bad:
+            print(
+                f"error: {len(bad)} pinned adversarial error(s) no longer "
+                "reproduce — a sampler or the generator changed behaviour",
+                file=sys.stderr,
+            )
+            return 1
+        print(f"{len(ADVERSARIAL_ENTRIES)} adversarial entries reproduce")
+        return 0
+
+    out = Path(args.out)
+    engine = EvaluationEngine(
+        EngineConfig(
+            jobs=args.jobs,
+            use_cache=not args.no_cache,
+            cache_dir=Path(args.cache_dir) if args.cache_dir else None,
+            quarantine_path=out / "quarantine.json",
+            retry=RetryPolicy(
+                max_attempts=args.max_attempts,
+                deadline_s=args.deadline,
+                backoff_base_s=0.01,
+            ),
+        )
+    )
+    _trace_artifacts["engine"] = engine
+    config = FuzzConfig(
+        seed=args.seed,
+        budget=args.budget,
+        max_invocations=args.max_invocations,
+        threshold=args.threshold,
+        top_k=args.top_k,
+        fault_rate=args.fault_rate,
+        chaos=args.chaos,
+        shrink_steps=args.shrink_steps,
+        jobs=args.jobs,
+        deadline_s=args.deadline,
+        max_attempts=args.max_attempts,
+        out_dir=out,
+        stop_after=args.stop_after,
+    )
+    result = run_campaign(config, engine=engine, resume=args.resume)
+    if result.stopped_early:
+        print(
+            f"campaign paused: {result.scored}/{args.budget} candidates "
+            f"scored (checkpoint: {result.checkpoint_path}); continue with "
+            "--resume"
+        )
+        _report_engine(engine)
+        return 0
+    print(render_findings(load_findings(result.findings_path)))
+    print(f"findings written to {result.findings_path}")
+    _report_engine(engine)
+    return 0
+
+
 def _cmd_cache(args) -> int:
     """Inspect or clear the on-disk evaluation result cache."""
     from pathlib import Path
@@ -746,6 +822,51 @@ def build_parser() -> argparse.ArgumentParser:
         help="max issues/actions to print (0 = all; default 50)",
     )
     validate.set_defaults(handler=_cmd_validate)
+
+    fuzz = sub.add_parser(
+        "fuzz",
+        help="seeded adversarial fuzzing of the workload generator "
+        "(mutate specs, score sampler error + stratification health, "
+        "shrink the worst cases)",
+    )
+    fuzz.add_argument("--seed", default="sieve-fuzz",
+                      help="campaign seed (default: sieve-fuzz)")
+    fuzz.add_argument("--budget", type=int, default=32,
+                      help="candidates to generate and score (default 32)")
+    fuzz.add_argument("--threshold", type=float, default=0.12,
+                      help="score above which a candidate is a finding "
+                      "(default 0.12)")
+    fuzz.add_argument("--top-k", type=int, default=3,
+                      help="findings to shrink and report (default 3)")
+    fuzz.add_argument("--max-invocations", type=int, default=2000,
+                      help="invocation cap per candidate (default 2000)")
+    fuzz.add_argument("--fault-rate", type=float, default=0.35,
+                      help="probability a candidate composes a data-fault "
+                      "plan (default 0.35)")
+    fuzz.add_argument("--chaos", metavar="MODE:RATE[,...]", default=None,
+                      help="task-surface chaos layered on every candidate "
+                      "(modes: hang, crash, task_error) to exercise the "
+                      "engine's isolation")
+    fuzz.add_argument("--shrink-steps", type=int, default=24,
+                      help="max engine evaluations per shrink (default 24)")
+    fuzz.add_argument("--deadline", type=float, default=120.0,
+                      help="per-attempt wall-clock deadline in seconds "
+                      "(default 120)")
+    fuzz.add_argument("--max-attempts", type=int, default=3,
+                      help="attempts per task before it counts as failed "
+                      "(default 3)")
+    fuzz.add_argument("--out", default="fuzz-out",
+                      help="campaign directory for checkpoint/findings/"
+                      "quarantine (default fuzz-out)")
+    fuzz.add_argument("--resume", action="store_true",
+                      help="continue from the checkpoint in --out")
+    fuzz.add_argument("--stop-after", type=int, default=None,
+                      help="pause after scoring N new candidates "
+                      "(checkpointing; mainly for testing --resume)")
+    fuzz.add_argument("--verify-suite", action="store_true",
+                      help="re-evaluate the committed adversarial suite "
+                      "against its pinned errors and exit (1 on drift)")
+    fuzz.set_defaults(handler=_cmd_fuzz)
 
     cache = sub.add_parser(
         "cache", help="inspect or clear the on-disk evaluation result cache"

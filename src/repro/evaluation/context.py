@@ -22,8 +22,10 @@ from repro.robustness.faults import (
     inject_measurement_faults,
     inject_table_faults,
 )
+from repro.utils.validation import require
 from repro.workloads.catalog import spec_for
 from repro.workloads.generator import WorkloadRun, generate
+from repro.workloads.spec import WorkloadSpec
 
 
 @dataclass(frozen=True)
@@ -61,11 +63,15 @@ def _cached_context(
     max_invocations: int | None,
     arch_name: str,
     fault_plan: FaultPlan | None,
+    spec=None,  # WorkloadSpec | None; inline spec for non-catalog labels
 ):
     arch = {a.name: a for a in (AMPERE_RTX3080, TURING_RTX2080TI)}[arch_name]
     with span("context.build", workload=label, arch=arch_name):
         with span("context.generate", workload=label):
-            run = generate(spec_for(label), max_invocations=max_invocations)
+            run = generate(
+                spec if spec is not None else spec_for(label),
+                max_invocations=max_invocations,
+            )
         with span("context.measure", workload=label):
             golden = HardwareExecutor(arch).measure(run)
         with span("context.profile.nvbit", workload=label):
@@ -101,6 +107,7 @@ def build_context(
     max_invocations: int | None = None,
     arch: GpuArchitecture = AMPERE_RTX3080,
     fault_plan: FaultPlan | None = None,
+    spec: WorkloadSpec | None = None,
 ) -> WorkloadContext:
     """Build (or fetch the cached) evaluation context for ``label``.
 
@@ -108,5 +115,15 @@ def build_context(
     deterministic corruption into the profile tables and the golden
     measurement — the knob behind the CLI's ``--inject-faults`` and the
     resilience benchmark. Plans are part of the cache key.
+
+    ``spec`` supplies an inline :class:`~repro.workloads.spec.WorkloadSpec`
+    for labels that are not in the catalog (fuzz candidates). Its label
+    must match ``label``; it participates in memoization like any other
+    argument because frozen dataclasses hash by value.
     """
-    return _cached_context(label, max_invocations, arch.name, fault_plan)
+    if spec is not None:
+        require(
+            spec.label == label,
+            f"inline spec label {spec.label!r} does not match {label!r}",
+        )
+    return _cached_context(label, max_invocations, arch.name, fault_plan, spec)

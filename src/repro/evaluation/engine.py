@@ -26,15 +26,18 @@ tests in ``tests/evaluation/test_engine_properties.py`` enforce this.
 
 from __future__ import annotations
 
+import json
+import multiprocessing
 import os
 import pickle
 import tempfile
-from concurrent.futures import ProcessPoolExecutor
+import time
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor, as_completed
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from functools import lru_cache
 from pathlib import Path
-from typing import TYPE_CHECKING, Mapping, Sequence
+from typing import TYPE_CHECKING, Callable, Mapping, Sequence
 
 import repro
 from repro.evaluation.context import build_context
@@ -45,11 +48,12 @@ from repro.observability import metrics, spans
 from repro.observability import state as obs_state
 from repro.observability.spans import span
 from repro.robustness import diagnostics
-from repro.robustness.faults import FaultPlan
-from repro.utils.errors import EngineError
+from repro.robustness.faults import FaultPlan, task_sabotage
+from repro.utils.errors import EngineError, TaskCrashError
 from repro.utils.hashing import stable_hash, tree_fingerprint
 from repro.utils.validation import require
 from repro.workloads.catalog import spec_for
+from repro.workloads.spec import WorkloadSpec
 
 if TYPE_CHECKING:  # annotation-only; keeps baselines out of the import graph
     from repro.baselines.pks import PksConfig
@@ -111,9 +115,20 @@ class EvaluationTask:
     pks_config: PksConfig | None = None
     fault_plan: FaultPlan | None = None
     methods: tuple[str | MethodRequest, ...] = KNOWN_METHODS
+    #: Inline workload spec for labels *not* in the catalog (fuzz
+    #: candidates). When set, its ``label`` must equal ``label`` and it
+    #: replaces the catalog lookup in both execution and cache keying.
+    spec: WorkloadSpec | None = None
 
     def __post_init__(self) -> None:
         require(len(self.methods) >= 1, "task must request a method", EngineError)
+        if self.spec is not None:
+            require(
+                self.spec.label == self.label,
+                f"inline spec label {self.spec.label!r} does not match "
+                f"task label {self.label!r}",
+                EngineError,
+            )
         legacy = {"sieve": self.sieve_config, "pks": self.pks_config}
         requests = tuple(
             entry
@@ -156,7 +171,7 @@ class EvaluationTask:
             CACHE_SCHEMA,
             repro.__version__,
             source_fingerprint(),
-            spec_for(self.label),
+            self.spec if self.spec is not None else spec_for(self.label),
             self.max_invocations,
             self.fault_plan,
             list(self.methods),
@@ -184,7 +199,10 @@ def run_task(task: EvaluationTask) -> dict[str, MethodResult]:
     """
     with span("engine.task", workload=task.label):
         context = build_context(
-            task.label, task.max_invocations, fault_plan=task.fault_plan
+            task.label,
+            task.max_invocations,
+            fault_plan=task.fault_plan,
+            spec=task.spec,
         )
         results: dict[str, MethodResult] = {}
         for request in task.methods:
@@ -222,6 +240,25 @@ def run_task_with_telemetry(
     )
 
 
+class PoolFailure(EngineError):
+    """The process pool died mid-run.
+
+    Carries the results of every task that *did* complete before the
+    failure (``pool.map`` streams them back in input order), so the
+    serial fallback can reuse them instead of recomputing — losing a
+    worker to the OOM killer on task 47 of 50 no longer costs 47
+    recomputations.
+    """
+
+    def __init__(self, completed: list[dict], cause: BaseException):
+        super().__init__(
+            f"process pool failed after {len(completed)} completed tasks: {cause!r}",
+            completed=len(completed),
+        )
+        self.completed = completed
+        self.cause = cause
+
+
 def _pool_map(jobs: int, tasks: Sequence[EvaluationTask]) -> list[dict]:
     """Run tasks through a process pool, preserving input order.
 
@@ -230,21 +267,31 @@ def _pool_map(jobs: int, tasks: Sequence[EvaluationTask]) -> list[dict]:
     span and metric snapshots merge into the parent registry here, in
     input order (``pool.map`` preserves it), so parallel aggregation is
     deterministic.
+
+    If the pool dies mid-run, raises :class:`PoolFailure` wrapping the
+    original exception plus the prefix of results already streamed back.
     """
-    with ProcessPoolExecutor(max_workers=jobs) as pool:
-        if not obs_state.enabled():
-            return list(pool.map(run_task, tasks))
-        with span("engine.pool", jobs=jobs, tasks=len(tasks)) as pool_span:
-            results = []
-            registry = metrics.get_registry()
-            for task_results, worker_spans, snapshot, worker_events in pool.map(
-                run_task_with_telemetry, tasks
-            ):
-                spans.adopt(worker_spans, parent_id=pool_span.span_id, proc="worker")
-                registry.merge(snapshot)
-                obs_manifest.extend_events(worker_events)
-                results.append(task_results)
-            return results
+    completed: list[dict] = []
+    try:
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            if not obs_state.enabled():
+                for task_results in pool.map(run_task, tasks):
+                    completed.append(task_results)
+                return completed
+            with span("engine.pool", jobs=jobs, tasks=len(tasks)) as pool_span:
+                registry = metrics.get_registry()
+                for task_results, worker_spans, snapshot, worker_events in pool.map(
+                    run_task_with_telemetry, tasks
+                ):
+                    spans.adopt(
+                        worker_spans, parent_id=pool_span.span_id, proc="worker"
+                    )
+                    registry.merge(snapshot)
+                    obs_manifest.extend_events(worker_events)
+                    completed.append(task_results)
+                return completed
+    except (BrokenProcessPool, pickle.PicklingError, OSError) as exc:
+        raise PoolFailure(completed, exc) from exc
 
 
 @dataclass
@@ -273,9 +320,17 @@ class ResultCache:
     and deleted, with a diagnostic, never as errors.
     """
 
-    def __init__(self, directory: Path | None = None):
+    def __init__(
+        self,
+        directory: Path | None = None,
+        on_invalid: Callable[[str], None] | None = None,
+    ):
         self.directory = Path(directory) if directory else default_cache_dir()
         self.stats = CacheStats()
+        #: Invoked with the cache *key* whenever an entry is dropped as
+        #: corrupt/stale — the engine wires this to the quarantine's
+        #: strike counter so repeatedly-poisoned keys stop being rewritten.
+        self.on_invalid = on_invalid
         try:
             self.directory.mkdir(parents=True, exist_ok=True)
         except OSError as exc:
@@ -341,6 +396,8 @@ class ResultCache:
             path.unlink()
         except OSError:
             pass
+        if self.on_invalid is not None:
+            self.on_invalid(path.stem)
 
     def entries(self) -> list[Path]:
         """All entry files currently on disk, sorted."""
@@ -362,6 +419,286 @@ class ResultCache:
 
 
 @dataclass(frozen=True)
+class RetryPolicy:
+    """Deadline + bounded-retry knobs for isolated task execution.
+
+    ``deadline_s`` is the per-*attempt* wall-clock budget; ``None``
+    disables the deadline (the supervisor blocks until the child
+    responds). Backoff between attempt ``k`` and ``k+1`` is
+    ``backoff_base_s * backoff_factor**k``.
+    """
+
+    max_attempts: int = 3
+    deadline_s: float | None = 60.0
+    backoff_base_s: float = 0.05
+    backoff_factor: float = 2.0
+
+    def __post_init__(self) -> None:
+        require(self.max_attempts >= 1, "max_attempts must be >= 1", EngineError)
+        require(
+            self.deadline_s is None or self.deadline_s > 0,
+            "deadline_s must be positive (or None to disable)",
+            EngineError,
+        )
+        require(self.backoff_base_s >= 0, "backoff_base_s must be >= 0", EngineError)
+        require(self.backoff_factor >= 1, "backoff_factor must be >= 1", EngineError)
+
+    def backoff(self, attempt: int) -> float:
+        """Sleep before retrying after failed attempt ``attempt`` (0-based)."""
+        return self.backoff_base_s * self.backoff_factor**attempt
+
+
+@dataclass(frozen=True)
+class TaskOutcome:
+    """Result of one isolated task, successful or not.
+
+    ``status`` is one of ``ok`` (results present), ``timeout`` (every
+    attempt blew its deadline), ``crash`` (worker process died),
+    ``error`` (task raised), or ``quarantined`` (skipped without running
+    because earlier campaigns struck it out).
+    """
+
+    label: str
+    status: str
+    results: Mapping[str, MethodResult] | None = None
+    attempts: int = 0
+    from_cache: bool = False
+    error: str | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+    def __getitem__(self, method: str) -> MethodResult:
+        if self.results is None:
+            raise TaskCrashError(
+                f"no results for failed task {self.label!r}",
+                status=self.status,
+                error=self.error,
+            )
+        return self.results[method]
+
+
+class Quarantine:
+    """Strike-counting quarantine list for tasks and cache entries.
+
+    Persisted as sorted JSON at ``path`` (memory-only when ``path`` is
+    ``None``) so repeated campaign runs remember which task labels and
+    cache keys keep failing. An identity reaching ``threshold`` strikes
+    is quarantined: ``run_isolated`` skips quarantined tasks outright
+    and the engine stops rewriting quarantined cache keys.
+    """
+
+    def __init__(self, path: Path | None = None, threshold: int = 2):
+        require(threshold >= 1, "quarantine threshold must be >= 1", EngineError)
+        self.path = Path(path) if path is not None else None
+        self.threshold = threshold
+        self.strikes: dict[str, int] = {}
+        self._load()
+
+    @staticmethod
+    def _entry(kind: str, ident: str) -> str:
+        require(
+            kind in ("task", "cache"),
+            f"unknown quarantine kind {kind!r}",
+            EngineError,
+        )
+        return f"{kind}:{ident}"
+
+    def _load(self) -> None:
+        if self.path is None or not self.path.exists():
+            return
+        try:
+            payload = json.loads(self.path.read_text())
+            self.strikes = {str(k): int(v) for k, v in payload["strikes"].items()}
+        except (OSError, ValueError, KeyError, TypeError) as exc:
+            diagnostics.emit(
+                "engine.quarantine",
+                f"unreadable quarantine file {self.path}: {exc!r}; starting empty",
+            )
+            self.strikes = {}
+
+    def _save(self) -> None:
+        if self.path is None:
+            return
+        payload = {"threshold": self.threshold, "strikes": dict(sorted(self.strikes.items()))}
+        try:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(dir=self.path.parent, prefix=".tmp-quar-")
+            with os.fdopen(fd, "w") as handle:
+                json.dump(payload, handle, indent=2, sort_keys=True)
+            os.replace(tmp, self.path)
+        except OSError as exc:
+            diagnostics.emit(
+                "engine.quarantine", f"cannot persist quarantine: {exc}"
+            )
+
+    def strike(self, kind: str, ident: str) -> int:
+        """Record one failure; returns the new strike count."""
+        entry = self._entry(kind, ident)
+        self.strikes[entry] = self.strikes.get(entry, 0) + 1
+        count = self.strikes[entry]
+        metrics.inc("engine.quarantine.strikes", kind=kind)
+        if count == self.threshold:
+            metrics.inc("engine.quarantine.added", kind=kind)
+            diagnostics.emit(
+                "engine.quarantine",
+                f"{kind} {ident!r} quarantined after {count} strikes",
+            )
+            obs_manifest.record_event(
+                "engine.quarantined", target=kind, ident=ident, strikes=count
+            )
+        self._save()
+        return count
+
+    def is_quarantined(self, kind: str, ident: str) -> bool:
+        return self.strikes.get(self._entry(kind, ident), 0) >= self.threshold
+
+    def clear(self, kind: str | None = None) -> int:
+        """Forget strikes (optionally only one kind); returns entries dropped."""
+        if kind is None:
+            dropped = len(self.strikes)
+            self.strikes = {}
+        else:
+            doomed = [e for e in self.strikes if e.startswith(f"{kind}:")]
+            dropped = len(doomed)
+            for entry in doomed:
+                del self.strikes[entry]
+        self._save()
+        return dropped
+
+    def entries(self) -> list[tuple[str, str, int]]:
+        """Sorted ``(kind, ident, strikes)`` rows (for CLI/report display)."""
+        rows = []
+        for entry, count in sorted(self.strikes.items()):
+            kind, _, ident = entry.partition(":")
+            rows.append((kind, ident, count))
+        return rows
+
+
+def _isolated_child(task: EvaluationTask, attempt: int, conn) -> None:
+    """Entry point of a single-task worker process.
+
+    Applies deterministic task-surface sabotage first (the chaos hooks
+    behind :func:`repro.robustness.faults.task_sabotage`): ``hang``
+    sleeps past any reasonable deadline, ``crash`` kills the process
+    abruptly, ``task_error`` raises. Sabotage depends only on
+    ``(plan.seed, mode, label, attempt)`` — never on scheduling — so
+    ``jobs=1`` and ``jobs=N`` campaigns sabotage identically.
+    """
+    try:
+        if task.fault_plan is not None:
+            mode = task_sabotage(task.fault_plan, task.label, attempt)
+            if mode == "hang":
+                time.sleep(3600.0)
+            elif mode == "crash":
+                os._exit(13)
+            elif mode == "task_error":
+                raise EngineError(
+                    "injected task fault",
+                    workload=task.label,
+                    attempt=attempt,
+                )
+        payload = run_task_with_telemetry(task)
+        conn.send(("ok", payload))
+    except BaseException as exc:  # noqa: BLE001 — ship *any* failure to the parent
+        try:
+            conn.send(("error", f"{type(exc).__name__}: {exc}"))
+        except Exception:
+            os._exit(1)
+    finally:
+        try:
+            conn.close()
+        except Exception:
+            pass
+
+
+def _supervised_attempt(
+    task: EvaluationTask, attempt: int, deadline_s: float | None
+) -> tuple[str, object]:
+    """Run one attempt in a dedicated child process under a deadline.
+
+    Returns ``(status, payload)`` where status is ``ok`` (payload is the
+    telemetry tuple from :func:`run_task_with_telemetry`), ``timeout``,
+    ``crash`` or ``error`` (payload is a description). The child is
+    terminated (then killed) on timeout, so a hung task costs exactly
+    one deadline — never the campaign.
+    """
+    ctx = multiprocessing.get_context("fork")
+    receiver, sender = ctx.Pipe(duplex=False)
+    proc = ctx.Process(target=_isolated_child, args=(task, attempt, sender), daemon=True)
+    proc.start()
+    sender.close()
+    try:
+        if not receiver.poll(deadline_s):
+            _reap(proc)
+            return ("timeout", f"no result within {deadline_s}s deadline")
+        try:
+            status, payload = receiver.recv()
+        except EOFError:
+            proc.join(5.0)
+            return ("crash", f"worker died without result (exitcode={proc.exitcode})")
+        proc.join(5.0)
+        return (status, payload)
+    finally:
+        receiver.close()
+        if proc.is_alive():
+            _reap(proc)
+
+
+def _reap(proc: multiprocessing.Process) -> None:
+    """Terminate, then kill, a stuck child; always joins."""
+    proc.terminate()
+    proc.join(2.0)
+    if proc.is_alive():
+        proc.kill()
+        proc.join(5.0)
+
+
+def _run_with_retries(
+    task: EvaluationTask,
+    policy: RetryPolicy,
+    sleep: Callable[[float], None] = time.sleep,
+) -> tuple[TaskOutcome, tuple | None]:
+    """Drive one task through supervised attempts with backoff.
+
+    Returns the outcome plus the worker telemetry tuple for successful
+    attempts (``None`` on failure); the caller merges telemetry in task
+    input order so parallel campaigns stay deterministic.
+    """
+    status, payload = "error", "never attempted"
+    for attempt in range(policy.max_attempts):
+        with span(
+            "engine.attempt", workload=task.label, attempt=attempt
+        ):
+            status, payload = _supervised_attempt(task, attempt, policy.deadline_s)
+        if status == "ok":
+            results = payload[0]
+            return (
+                TaskOutcome(task.label, "ok", results, attempts=attempt + 1),
+                payload,
+            )
+        metrics.inc("engine.isolated.attempt_failures", reason=status)
+        diagnostics.emit(
+            "engine.isolated",
+            f"attempt {attempt + 1}/{policy.max_attempts} for {task.label} "
+            f"failed ({status}): {payload}",
+        )
+        if attempt + 1 < policy.max_attempts:
+            sleep(policy.backoff(attempt))
+    return (
+        TaskOutcome(
+            task.label,
+            status,
+            None,
+            attempts=policy.max_attempts,
+            error=str(payload),
+        ),
+        None,
+    )
+
+
+@dataclass(frozen=True)
 class EngineConfig:
     """Tunable parameters of the evaluation engine."""
 
@@ -371,9 +708,22 @@ class EngineConfig:
     #: Re-run remaining work serially when the worker pool dies mid-run
     #: (OOM-killed worker, interpreter mismatch) instead of failing.
     serial_fallback: bool = True
+    #: Where the quarantine list persists. ``None`` puts it next to the
+    #: cache (``<cache_dir>/quarantine.json``) when caching is on, else
+    #: keeps it in memory for the engine's lifetime.
+    quarantine_path: Path | None = None
+    #: Failures before a task label / cache key is quarantined.
+    quarantine_threshold: int = 2
+    #: Deadline + retry schedule used by :meth:`EvaluationEngine.run_isolated`.
+    retry: RetryPolicy = RetryPolicy()
 
     def __post_init__(self) -> None:
         require(self.jobs >= 1, "jobs must be >= 1", EngineError)
+        require(
+            self.quarantine_threshold >= 1,
+            "quarantine_threshold must be >= 1",
+            EngineError,
+        )
 
 
 class EvaluationEngine:
@@ -390,6 +740,14 @@ class EvaluationEngine:
         self.cache = (
             ResultCache(self.config.cache_dir) if self.config.use_cache else None
         )
+        quarantine_path = self.config.quarantine_path
+        if quarantine_path is None and self.cache is not None:
+            quarantine_path = self.cache.directory / "quarantine.json"
+        self.quarantine = Quarantine(
+            quarantine_path, threshold=self.config.quarantine_threshold
+        )
+        if self.cache is not None:
+            self.cache.on_invalid = lambda key: self.quarantine.strike("cache", key)
 
     @property
     def cache_stats(self) -> CacheStats | None:
@@ -416,9 +774,17 @@ class EvaluationEngine:
                 computed = self._execute([tasks[i] for i in pending])
                 for index, results in zip(pending, computed):
                     ordered[index] = TaskResult(tasks[index].label, results)
-                    if self.cache is not None and keys[index] is not None:
-                        self.cache.put(keys[index], results)
+                    self._cache_put(keys[index], results)
             return [result for result in ordered if result is not None]
+
+    def _cache_put(self, key: str | None, results: dict[str, MethodResult]) -> None:
+        """Write-through, unless the key's entries keep coming back corrupt."""
+        if self.cache is None or key is None:
+            return
+        if self.quarantine.is_quarantined("cache", key):
+            metrics.inc("engine.cache.quarantine_skips")
+            return
+        self.cache.put(key, results)
 
     def _execute(self, tasks: Sequence[EvaluationTask]) -> list[dict]:
         jobs = min(self.config.jobs, len(tasks))
@@ -426,20 +792,116 @@ class EvaluationEngine:
             return [run_task(task) for task in tasks]
         try:
             return _pool_map(jobs, tasks)
-        except (BrokenProcessPool, pickle.PicklingError, OSError) as exc:
+        except (PoolFailure, BrokenProcessPool, pickle.PicklingError, OSError) as exc:
+            # Plain exceptions cover tests (and callers) that substitute
+            # _pool_map with something that raises directly.
+            if isinstance(exc, PoolFailure):
+                completed, cause = exc.completed, exc.cause
+            else:
+                completed, cause = [], exc
             if not self.config.serial_fallback:
-                raise
+                raise cause
+            remaining = tasks[len(completed):]
             obs_manifest.record_event(
                 "engine.pool_failure",
-                exception=repr(exc),
+                exception=repr(cause),
                 jobs=jobs,
                 tasks=len(tasks),
+                completed=len(completed),
             )
             metrics.inc("engine.pool.failures")
             diagnostics.emit(
                 "engine",
-                f"process pool failed ({exc!r}); "
-                f"degrading to serial execution for {len(tasks)} tasks",
+                f"process pool failed ({cause!r}); reusing {len(completed)} "
+                f"completed results and degrading to serial execution for "
+                f"{len(remaining)} remaining tasks",
             )
-            with span("engine.serial_fallback", tasks=len(tasks)):
-                return [run_task(task) for task in tasks]
+            with span(
+                "engine.serial_fallback",
+                tasks=len(remaining),
+                reused=len(completed),
+            ):
+                return completed + [run_task(task) for task in remaining]
+
+    def run_isolated(
+        self,
+        tasks: Sequence[EvaluationTask],
+        policy: RetryPolicy | None = None,
+    ) -> list[TaskOutcome]:
+        """Evaluate tasks with per-task crash isolation and deadlines.
+
+        Each pending task runs in its *own* child process supervised by a
+        thread: a hang costs one deadline, a crash costs one task, and
+        neither aborts the batch (contrast :meth:`run`, where one dying
+        worker used to cost the whole pool). Failed tasks earn quarantine
+        strikes; quarantined tasks are skipped outright. Outcomes come
+        back in input order, cache-warm where possible, and worker
+        telemetry is merged in input order so ``jobs=1`` and ``jobs=N``
+        produce byte-identical surviving results and aggregates.
+        """
+        policy = policy or self.config.retry
+        with span("engine.run_isolated", tasks=len(tasks)) as iso_span:
+            ordered: list[TaskOutcome | None] = [None] * len(tasks)
+            keys: list[str | None] = [None] * len(tasks)
+            pending: list[int] = []
+            for index, task in enumerate(tasks):
+                if self.quarantine.is_quarantined("task", task.label):
+                    metrics.inc("engine.isolated.quarantine_skips")
+                    obs_manifest.record_event(
+                        "engine.task_skipped", workload=task.label, reason="quarantined"
+                    )
+                    ordered[index] = TaskOutcome(
+                        task.label,
+                        "quarantined",
+                        attempts=0,
+                        error="skipped: quarantined task",
+                    )
+                    continue
+                if self.cache is not None:
+                    keys[index] = task.cache_key()
+                    cached = self.cache.get(keys[index])
+                    if cached is not None:
+                        ordered[index] = TaskOutcome(
+                            task.label, "ok", cached, attempts=0, from_cache=True
+                        )
+                        continue
+                pending.append(index)
+            if pending:
+                jobs = min(self.config.jobs, len(pending))
+                if jobs <= 1:
+                    attempted = [
+                        _run_with_retries(tasks[i], policy) for i in pending
+                    ]
+                else:
+                    with ThreadPoolExecutor(max_workers=jobs) as supervisors:
+                        attempted = list(
+                            supervisors.map(
+                                lambda i: _run_with_retries(tasks[i], policy),
+                                pending,
+                            )
+                        )
+                registry = metrics.get_registry()
+                for index, (outcome, telemetry) in zip(pending, attempted):
+                    ordered[index] = outcome
+                    if outcome.ok:
+                        self._cache_put(keys[index], dict(outcome.results))
+                        if telemetry is not None and obs_state.enabled():
+                            _, worker_spans, snapshot, worker_events = telemetry
+                            spans.adopt(
+                                worker_spans,
+                                parent_id=iso_span.span_id,
+                                proc="isolated",
+                            )
+                            registry.merge(snapshot)
+                            obs_manifest.extend_events(worker_events)
+                    else:
+                        metrics.inc("engine.isolated.failures", status=outcome.status)
+                        obs_manifest.record_event(
+                            "engine.task_failed",
+                            workload=outcome.label,
+                            status=outcome.status,
+                            attempts=outcome.attempts,
+                            error=outcome.error,
+                        )
+                        self.quarantine.strike("task", outcome.label)
+            return [outcome for outcome in ordered if outcome is not None]

@@ -1,0 +1,28 @@
+"""Seeded fuzzing of the workload generator's parameter space.
+
+The campaign (:mod:`repro.fuzz.campaign`) mutates catalog specs into
+candidate workloads (:mod:`repro.fuzz.mutation`), runs every requested
+sampling method on each through the resilient engine, scores candidates
+by prediction error plus stratification-health gauge violations
+(:mod:`repro.fuzz.scoring`), and greedily shrinks the worst offenders to
+minimal reproducers (:mod:`repro.fuzz.shrink`). Survivors graduate into
+the committed adversarial suite (:mod:`repro.workloads.adversarial`).
+"""
+
+from repro.fuzz.campaign import CampaignResult, FuzzConfig, run_campaign
+from repro.fuzz.mutation import Candidate, make_candidate
+from repro.fuzz.scoring import CandidateScore, GaugeViolations, ScoreWeights, score_results
+from repro.fuzz.shrink import shrink_candidate
+
+__all__ = [
+    "Candidate",
+    "CampaignResult",
+    "CandidateScore",
+    "FuzzConfig",
+    "GaugeViolations",
+    "ScoreWeights",
+    "make_candidate",
+    "run_campaign",
+    "score_results",
+    "shrink_candidate",
+]

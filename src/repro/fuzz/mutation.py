@@ -1,0 +1,254 @@
+"""Deterministic mutation space over workload-generator parameters.
+
+A candidate is a function of ``(campaign seed, index)`` and *nothing
+else* — no sequential RNG state threads between candidates — so a
+resumed campaign regenerates candidate ``i`` identically whether or not
+candidates ``0..i-1`` ran in this process. That property is what makes
+checkpoint/resume a simple "skip already-scored indices" loop.
+
+Mutations start from a random Table I catalog spec and perturb 2-5
+knobs inside ranges the spec validator accepts, then clamp the
+structural couplings (``alias_groups <= num_kernels``,
+``num_invocations >= num_kernels``). Candidates optionally carry a
+composed :class:`~repro.robustness.faults.FaultPlan` of data-surface
+corruption, the same plans the resilience benchmark injects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.robustness.faults import FaultPlan, FaultSpec
+from repro.utils.seeding import rng_for
+from repro.workloads.catalog import all_specs
+from repro.workloads.spec import WorkloadSpec
+
+#: Continuous knobs drawn uniformly from [lo, hi].
+UNIFORM_KNOBS: dict[str, tuple[float, float]] = {
+    "invocation_skew": (0.0, 2.5),
+    "metric_direction_sigma": (0.02, 1.5),
+    "heterogeneity": (0.02, 1.5),
+    "drift_fraction": (0.0, 0.85),
+    "chrono_size_correlation": (0.0, 1.0),
+    "dominant_kernel_share": (0.0, 0.9),
+    "turing_biased_fraction": (0.0, 1.0),
+    "measurement_noise_cov": (0.0, 0.15),
+    "behavior.tier2_cov": (0.02, 0.6),
+    "behavior.tier3_mode_cov": (0.0, 0.45),
+    "behavior.tier3_count_exponent": (0.0, 2.5),
+}
+
+#: Scale-like knobs drawn log-uniformly from [lo, hi].
+LOG_UNIFORM_KNOBS: dict[str, tuple[float, float]] = {
+    "insn_kernel_sigma": (0.2, 2.5),
+    "drift_factor": (0.05, 1.0),
+    "turing_factor": (0.5, 2.0),
+    "behavior.tier3_spread": (2.0, 150.0),
+}
+
+#: Integer knobs drawn from [lo, hi] inclusive.
+INT_KNOBS: dict[str, tuple[int, int]] = {
+    "behavior.tier3_modes": (2, 10),
+    "num_kernels": (2, 40),
+    "alias_groups": (1, 40),  # clamped to num_kernels after mutation
+}
+
+#: Redrawn wholesale rather than per-scalar.
+COMPOSITE_KNOBS = ("tier_fractions",)
+
+#: Data-surface fault modes candidates may compose (the ``task`` surface
+#: — hang/crash/task_error — is chaos the *campaign* layers on, not part
+#: of the candidate's identity).
+DATA_FAULT_MODES = (
+    "drop",
+    "truncate",
+    "duplicate",
+    "nan",
+    "negative",
+    "cycle_noise",
+    "clock_drift",
+    "zero_cycles",
+)
+
+
+def mutable_knobs() -> tuple[str, ...]:
+    """Every knob name the mutator may touch, sorted (deterministic)."""
+    return tuple(
+        sorted(
+            [*UNIFORM_KNOBS, *LOG_UNIFORM_KNOBS, *INT_KNOBS, *COMPOSITE_KNOBS]
+        )
+    )
+
+
+@dataclass(frozen=True)
+class Candidate:
+    """One fuzz candidate: a mutated spec plus its provenance."""
+
+    index: int
+    seed: str
+    base_label: str
+    spec: WorkloadSpec
+    fault_plan: FaultPlan | None = None
+
+    @property
+    def label(self) -> str:
+        return self.spec.label
+
+    def to_dict(self) -> dict:
+        return {
+            "index": self.index,
+            "seed": self.seed,
+            "base_label": self.base_label,
+            "spec": self.spec.to_dict(),
+            "fault_plan": plan_to_dict(self.fault_plan),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "Candidate":
+        return cls(
+            index=int(payload["index"]),
+            seed=str(payload["seed"]),
+            base_label=str(payload["base_label"]),
+            spec=WorkloadSpec.from_dict(payload["spec"]),
+            fault_plan=plan_from_dict(payload.get("fault_plan")),
+        )
+
+
+def plan_to_dict(plan: FaultPlan | None) -> dict | None:
+    """JSON-ready form of a fault plan (checkpoints, findings files)."""
+    if plan is None:
+        return None
+    return {
+        "seed": plan.seed,
+        "specs": [{"mode": s.mode, "rate": s.rate} for s in plan.specs],
+    }
+
+
+def plan_from_dict(payload: dict | None) -> FaultPlan | None:
+    if payload is None:
+        return None
+    return FaultPlan(
+        specs=tuple(
+            FaultSpec(mode=s["mode"], rate=float(s["rate"]))
+            for s in payload["specs"]
+        ),
+        seed=int(payload["seed"]),
+    )
+
+
+def _flatten(payload: dict, prefix: str = "") -> dict:
+    """``{"behavior": {"tier2_cov": x}}`` -> ``{"behavior.tier2_cov": x}``."""
+    flat: dict = {}
+    for key, value in payload.items():
+        dotted = f"{prefix}{key}"
+        if isinstance(value, dict):
+            flat.update(_flatten(value, prefix=f"{dotted}."))
+        else:
+            flat[dotted] = value
+    return flat
+
+
+def _set_knob(fields: dict, knob: str, value: object) -> None:
+    """Set a (possibly dotted) knob inside a ``WorkloadSpec.to_dict``."""
+    if "." in knob:
+        outer, _, inner = knob.partition(".")
+        fields[outer] = dict(fields[outer])
+        fields[outer][inner] = value
+    else:
+        fields[knob] = value
+
+
+def get_knob(spec: WorkloadSpec, knob: str) -> object:
+    """Read a (possibly dotted) knob off a spec."""
+    target: object = spec
+    for part in knob.split("."):
+        target = getattr(target, part)
+    return target
+
+
+def _draw(rng: np.random.Generator, knob: str) -> object:
+    if knob in UNIFORM_KNOBS:
+        lo, hi = UNIFORM_KNOBS[knob]
+        return float(lo + (hi - lo) * rng.random())
+    if knob in LOG_UNIFORM_KNOBS:
+        lo, hi = LOG_UNIFORM_KNOBS[knob]
+        return float(np.exp(np.log(lo) + (np.log(hi) - np.log(lo)) * rng.random()))
+    if knob in INT_KNOBS:
+        lo, hi = INT_KNOBS[knob]
+        return int(rng.integers(lo, hi + 1))
+    if knob == "tier_fractions":
+        raw = rng.random(3) + 0.05  # keep every tier plausible
+        return [float(f) for f in raw / raw.sum()]
+    raise KeyError(f"unknown mutation knob {knob!r}")
+
+
+def _clamp_structure(fields: dict) -> None:
+    """Re-establish cross-knob invariants after mutation."""
+    kernels = int(fields["num_kernels"])
+    fields["alias_groups"] = max(1, min(int(fields["alias_groups"]), kernels))
+    fields["num_invocations"] = max(int(fields["num_invocations"]), kernels)
+    # Renormalize in case a previous serialization drifted.
+    fractions = [float(f) for f in fields["tier_fractions"]]
+    total = sum(fractions)
+    fields["tier_fractions"] = [f / total for f in fractions]
+
+
+def candidate_spec(seed: str, index: int) -> tuple[WorkloadSpec, str]:
+    """Deterministically mutate one catalog spec into a fuzz candidate.
+
+    Returns the mutated spec (suite ``fuzz``, name ``<seed>-<index>``)
+    plus the base catalog label it started from. Depends only on
+    ``(seed, index)``.
+    """
+    rng = rng_for("fuzz", seed, "candidate", index)
+    bases = sorted(all_specs(), key=lambda s: s.label)
+    base = bases[int(rng.integers(len(bases)))]
+    fields = base.to_dict()
+    fields["suite"] = "fuzz"
+    fields["name"] = f"{seed}-{index:04d}"
+    knobs = mutable_knobs()
+    count = 2 + int(rng.integers(4))  # 2..5 knobs per candidate
+    chosen = rng.choice(len(knobs), size=min(count, len(knobs)), replace=False)
+    for position in sorted(int(p) for p in chosen):
+        knob = knobs[position]
+        _set_knob(fields, knob, _draw(rng, knob))
+    _clamp_structure(fields)
+    return WorkloadSpec.from_dict(fields), base.label
+
+
+def candidate_fault_plan(
+    seed: str, index: int, fault_rate: float
+) -> FaultPlan | None:
+    """Optionally compose a data-corruption plan for candidate ``index``.
+
+    With probability ``fault_rate`` the candidate carries 1-2 modes from
+    :data:`DATA_FAULT_MODES` at small rates; plans are seeded by the
+    candidate index so injection inside the workers is reproducible.
+    """
+    rng = rng_for("fuzz", seed, "faults", index)
+    if fault_rate <= 0 or rng.random() >= fault_rate:
+        return None
+    count = 1 + int(rng.integers(2))
+    chosen = rng.choice(len(DATA_FAULT_MODES), size=count, replace=False)
+    specs = tuple(
+        FaultSpec(
+            mode=DATA_FAULT_MODES[int(position)],
+            rate=float(0.01 + 0.14 * rng.random()),
+        )
+        for position in sorted(int(p) for p in chosen)
+    )
+    return FaultPlan(specs=specs, seed=index)
+
+
+def make_candidate(seed: str, index: int, fault_rate: float = 0.35) -> Candidate:
+    """Build candidate ``index`` of campaign ``seed`` (pure function)."""
+    spec, base_label = candidate_spec(seed, index)
+    return Candidate(
+        index=index,
+        seed=seed,
+        base_label=base_label,
+        spec=spec,
+        fault_plan=candidate_fault_plan(seed, index, fault_rate),
+    )

@@ -1,0 +1,109 @@
+"""Greedy shrinking of fuzz findings to minimal reproducers.
+
+A raw finding mutates several knobs and may drag a fault plan along; the
+interesting signal is usually one or two of those. Shrinking walks a
+deterministic proposal list — drop fault specs, reset each mutated knob
+back to its base-catalog value, halve the structural size — and keeps
+any simplification whose score stays above the retention floor. The
+walk restarts from the head after every acceptance (a knob that could
+not be reset before may become resettable once another is), so the
+result is a local minimum of the proposal order, reached identically on
+every run because proposals and evaluation are both deterministic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Callable, Iterator
+
+from repro.fuzz.mutation import Candidate, _flatten, _set_knob
+from repro.fuzz.scoring import CandidateScore
+from repro.workloads.catalog import spec_for
+from repro.workloads.spec import WorkloadSpec
+
+#: A shrink keeps this fraction of the original score (but never less
+#: than the campaign threshold) to count as "still reproduces".
+RETENTION = 0.75
+
+
+def _proposals(candidate: Candidate, base: WorkloadSpec) -> Iterator[Candidate]:
+    """Simpler variants of ``candidate``, most aggressive first."""
+    # 1) Shed the fault plan: whole plan, then one spec at a time.
+    plan = candidate.fault_plan
+    if plan is not None:
+        yield replace(candidate, fault_plan=None)
+        if len(plan.specs) > 1:
+            for drop in range(len(plan.specs)):
+                specs = tuple(
+                    s for i, s in enumerate(plan.specs) if i != drop
+                )
+                yield replace(candidate, fault_plan=replace(plan, specs=specs))
+    # 2) Reset each mutated knob to its base-catalog value.
+    current = _flatten(candidate.spec.to_dict())
+    target = _flatten(base.to_dict())
+    for knob in sorted(current):
+        if knob in ("name", "suite"):
+            continue  # identity stays the candidate's
+        if current[knob] == target[knob]:
+            continue
+        fields = candidate.spec.to_dict()
+        _set_knob(fields, knob, target[knob])
+        # Keep structural invariants when resetting coupled knobs.
+        fields["alias_groups"] = max(
+            1, min(int(fields["alias_groups"]), int(fields["num_kernels"]))
+        )
+        fields["num_invocations"] = max(
+            int(fields["num_invocations"]), int(fields["num_kernels"])
+        )
+        try:
+            yield replace(candidate, spec=WorkloadSpec.from_dict(fields))
+        except ValueError:
+            continue  # coupled reset left an invalid spec; skip it
+    # 3) Halve the structural size (smaller reproducers run faster).
+    spec = candidate.spec
+    if spec.num_invocations > 4 * spec.num_kernels:
+        fields = spec.to_dict()
+        fields["num_invocations"] = max(
+            spec.num_kernels, spec.num_invocations // 2
+        )
+        yield replace(candidate, spec=WorkloadSpec.from_dict(fields))
+    if spec.num_kernels > 2:
+        fields = spec.to_dict()
+        fields["num_kernels"] = max(2, spec.num_kernels // 2)
+        fields["alias_groups"] = min(
+            int(fields["alias_groups"]), int(fields["num_kernels"])
+        )
+        yield replace(candidate, spec=WorkloadSpec.from_dict(fields))
+
+
+def shrink_candidate(
+    candidate: Candidate,
+    original: CandidateScore,
+    evaluate: Callable[[Candidate], CandidateScore | None],
+    threshold: float,
+    max_steps: int = 24,
+) -> tuple[Candidate, CandidateScore, int]:
+    """Greedily simplify ``candidate`` while it still scores adversarial.
+
+    ``evaluate`` runs a candidate through the engine and scores it
+    (``None`` = the task failed; such proposals are rejected). Returns
+    the shrunk candidate, its score and the number of evaluations spent.
+    The retention floor is ``max(threshold, RETENTION * original)``.
+    """
+    floor = max(threshold, RETENTION * original.score)
+    current, current_score = candidate, original
+    base = spec_for(candidate.base_label)
+    steps = 0
+    improved = True
+    while improved and steps < max_steps:
+        improved = False
+        for proposal in _proposals(current, base):
+            if steps >= max_steps:
+                break
+            steps += 1
+            score = evaluate(proposal)
+            if score is not None and score.score >= floor:
+                current, current_score = proposal, score
+                improved = True
+                break  # restart proposals from the simpler candidate
+    return current, current_score, steps

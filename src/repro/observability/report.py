@@ -262,3 +262,50 @@ def _diff_attribution(baseline: RunManifest, current: RunManifest) -> str:
         ["workload · method", "baseline", "current", "delta", "largest kernel shift"],
         rows,
     )
+
+
+def render_findings(payload: dict) -> str:
+    """A fuzz campaign's findings file as a summary plus one table.
+
+    ``payload`` is the dict ``repro.fuzz.campaign`` writes to
+    ``findings.json`` (schema-checked by ``load_findings``).
+    """
+    campaign = payload.get("campaign", {})
+    summary = payload.get("summary", {})
+    lines = [
+        f"campaign  : seed={campaign.get('seed')} budget={campaign.get('budget')} "
+        f"threshold={campaign.get('threshold')} chaos={campaign.get('chaos') or '-'}",
+        f"candidates: {summary.get('scored', 0)} scored, "
+        f"{summary.get('ok', 0)} ok, {summary.get('failed', 0)} failed "
+        f"({', '.join(f'{k}={v}' for k, v in sorted(summary.get('statuses', {}).items()))})",
+        f"findings  : {summary.get('findings', 0)} above threshold",
+    ]
+    findings = payload.get("findings", ())
+    if findings:
+        lines.append("")
+        lines.append(
+            format_table(
+                ["idx", "base", "worst", "error", "score", "shrunk", "faults"],
+                [
+                    (
+                        finding["index"],
+                        finding["base_label"],
+                        finding["score"]["worst_method"],
+                        percent(finding["score"]["max_error"]),
+                        f"{finding['score']['score']:.4f}",
+                        f"{finding['shrunk_score']['score']:.4f}",
+                        (
+                            ",".join(
+                                s["mode"]
+                                for s in (finding["shrunk"].get("fault_plan") or {}).get(
+                                    "specs", ()
+                                )
+                            )
+                            or "-"
+                        ),
+                    )
+                    for finding in findings
+                ],
+            )
+        )
+    return "\n".join(lines)

@@ -33,7 +33,13 @@ from repro.utils.errors import FaultInjectionError
 from repro.utils.seeding import rng_for
 from repro.utils.validation import require
 
-#: mode name -> surfaces it applies to.
+#: mode name -> surfaces it applies to. The ``task`` surface corrupts the
+#: *execution* of an evaluation task rather than its data: ``hang`` stalls
+#: the worker past any deadline, ``crash`` kills the worker process
+#: outright and ``task_error`` raises an ordinary exception. These are
+#: applied only by the resilient engine's isolated workers
+#: (:meth:`repro.evaluation.engine.EvaluationEngine.run_isolated`) — the
+#: chaos half of the fuzzing harness.
 FAULT_MODES: dict[str, frozenset[str]] = {
     "drop": frozenset({"table", "csv"}),
     "truncate": frozenset({"table", "csv"}),
@@ -44,6 +50,9 @@ FAULT_MODES: dict[str, frozenset[str]] = {
     "cycle_noise": frozenset({"measurement"}),
     "clock_drift": frozenset({"measurement"}),
     "zero_cycles": frozenset({"measurement"}),
+    "hang": frozenset({"task"}),
+    "crash": frozenset({"task"}),
+    "task_error": frozenset({"task"}),
 }
 
 
@@ -124,6 +133,26 @@ def _hit_rows(rng: np.random.Generator, n: int, rate: float) -> np.ndarray:
     if rate <= 0.0 or n == 0:
         return np.empty(0, dtype=np.int64)
     return np.flatnonzero(rng.random(n) < rate)
+
+
+# --------------------------------------------------------------------- #
+# Task-surface sabotage (engine chaos testing)
+
+
+def task_sabotage(plan: FaultPlan, label: str, attempt: int) -> str | None:
+    """Which sabotage mode (if any) this task attempt should suffer.
+
+    Deterministic in ``(plan.seed, label, attempt)`` and *independent of
+    scheduling*: a task decides its own fate per attempt, so ``jobs=1``
+    and ``jobs=N`` runs of the resilient engine see identical hang/crash
+    sequences — the property the determinism tests pin. The first
+    matching spec wins (plan order).
+    """
+    for spec in plan.for_surface("task"):
+        rng = rng_for("faults", plan.seed, spec.mode, label, "task", attempt)
+        if spec.rate > 0 and rng.random() < spec.rate:
+            return spec.mode
+    return None
 
 
 # --------------------------------------------------------------------- #

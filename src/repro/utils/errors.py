@@ -1,20 +1,55 @@
 """Typed exception hierarchy for the reproduction.
 
-Every invariant failure inside the library raises a :class:`ReproError`
+Every invariant failure inside the library raises a :class:`SieveError`
 subclass so callers can catch failures per pipeline stage (profile
-ingestion vs selection vs prediction) without string matching. The
-hierarchy deliberately subclasses :class:`ValueError`: historical call
-sites (and tests) that catch ``ValueError`` keep working unchanged.
+ingestion vs selection vs prediction vs engine scheduling) without
+string matching. The hierarchy deliberately subclasses
+:class:`ValueError`: historical call sites (and tests) that catch
+``ValueError`` keep working unchanged.
+
+Beyond a message, every :class:`SieveError` carries structured
+``context`` fields — machine-readable key/value pairs naming *what* the
+error is about (a workload label, a cache key, an attempt count) — so
+supervisors like the fuzz campaign and the resilient engine can log,
+aggregate and quarantine failures without parsing strings::
+
+    raise EngineError("task exceeded deadline", label="fuzz/s1-i00042",
+                      deadline_s=30.0, attempt=2)
+
+``ReproError`` survives as an alias of :class:`SieveError` for
+pre-existing imports.
 """
 
 from __future__ import annotations
 
 
-class ReproError(ValueError):
-    """Base class for all errors raised by the reproduction library."""
+class SieveError(ValueError):
+    """Base class for all errors raised by the reproduction library.
+
+    ``context`` holds structured fields describing the failure site;
+    ``None``-valued fields are dropped so call sites can pass optional
+    context unconditionally. The rendered message appends the context as
+    a stable, sorted ``[key=value, ...]`` suffix.
+    """
+
+    def __init__(self, message: str, **context: object):
+        self.message = message
+        self.context = {k: v for k, v in context.items() if v is not None}
+        rendered = message
+        if self.context:
+            fields = ", ".join(
+                f"{key}={value!r}" for key, value in sorted(self.context.items())
+            )
+            rendered = f"{message} [{fields}]"
+        super().__init__(rendered)
 
 
-class ProfileError(ReproError):
+#: Backwards-compatible alias: the hierarchy's base was named
+#: ``ReproError`` before it grew structured context fields.
+ReproError = SieveError
+
+
+class ProfileError(SieveError):
     """Malformed or unreadable profiler output (CSV files, tables).
 
     Carries the offending file path and 1-based row number when known so
@@ -30,6 +65,8 @@ class ProfileError(ReproError):
     ):
         self.path = path
         self.row = row
+        # Location renders as a prefix (historical format, pinned by
+        # tests); it is *also* carried as structured context.
         prefix = ""
         if path is not None:
             prefix = f"{path}:"
@@ -38,27 +75,49 @@ class ProfileError(ReproError):
             prefix += " "
         elif row is not None:
             prefix = f"row {row}: "
-        super().__init__(prefix + message)
+        super(SieveError, self).__init__(prefix + message)
+        self.message = message
+        self.context = {
+            k: v for k, v in {"path": path, "row": row}.items() if v is not None
+        }
 
 
-class SelectionError(ReproError):
+class SelectionError(SieveError):
     """Representative selection failed (empty table, degenerate strata)."""
 
 
-class PredictionError(ReproError):
+class PredictionError(SieveError):
     """Performance prediction failed (no usable measurements at all)."""
 
 
-class FaultInjectionError(ReproError):
+class FaultInjectionError(SieveError):
     """A fault-injection request was malformed (unknown mode, bad rate)."""
 
 
-class EngineError(ReproError):
+class EngineError(SieveError):
     """The parallel evaluation engine was misused (bad jobs count,
     unknown method name in a task, unusable cache directory)."""
 
 
-class MethodRegistryError(ReproError):
+class TaskTimeoutError(EngineError):
+    """An isolated task attempt exceeded its wall-clock deadline.
+
+    Context: ``label``, ``deadline_s``, ``attempt``.
+    """
+
+
+class TaskCrashError(EngineError):
+    """An isolated task's worker process died without reporting a result
+    (segfault, ``os._exit``, OOM kill). Context: ``label``, ``exitcode``,
+    ``attempt``."""
+
+
+class QuarantinedTaskError(EngineError):
+    """A task was skipped because its cache key is quarantined after
+    repeated failures. Context: ``label``, ``key``, ``reason``."""
+
+
+class MethodRegistryError(SieveError):
     """The sampling-method registry was misused (duplicate registration,
     malformed method class, bad entry point)."""
 
@@ -76,3 +135,14 @@ class UnknownMethodError(MethodRegistryError, EngineError):
 
 class MethodConfigError(MethodRegistryError):
     """A method was handed a config of the wrong type for its schema."""
+
+
+class FuzzError(SieveError):
+    """The fuzzing campaign was misconfigured or hit an invariant failure
+    (bad budget, mutation producing an unconstructible spec)."""
+
+
+class CheckpointError(FuzzError):
+    """A campaign checkpoint is unreadable or belongs to a different
+    campaign configuration. Context: ``path``, plus the mismatching
+    fields when known."""

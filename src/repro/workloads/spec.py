@@ -166,6 +166,24 @@ class WorkloadSpec:
 
         return stable_hash("workload-spec", self)
 
+    def to_dict(self) -> dict:
+        """JSON-ready form (fuzz checkpoints, findings files, the
+        committed adversarial suite). Round-trips via :meth:`from_dict`."""
+        from dataclasses import asdict
+
+        payload = asdict(self)
+        payload["behavior"] = asdict(self.behavior)
+        payload["tier_fractions"] = list(self.tier_fractions)
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "WorkloadSpec":
+        """Rebuild a spec from :meth:`to_dict` output (validates fully)."""
+        fields = dict(payload)
+        fields["behavior"] = KernelBehavior(**fields.get("behavior", {}))
+        fields["tier_fractions"] = tuple(fields["tier_fractions"])
+        return cls(**fields)
+
     def scaled(self, max_invocations: int) -> "WorkloadSpec":
         """Return a spec with invocations capped at ``max_invocations``.
 

@@ -1,0 +1,284 @@
+"""Resilience tests for the hardened evaluation engine.
+
+Covers the failure paths the fuzz campaign leans on: partial-result
+reuse when the process pool dies mid-run, crash isolation with bounded
+retries and deadlines, the quarantine strike list, and the determinism
+contract under injected task-surface faults (``jobs=1`` and ``jobs=4``
+must produce byte-identical surviving results).
+"""
+
+import pickle
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+import repro.evaluation.engine as engine_mod
+from repro.evaluation.engine import (
+    EngineConfig,
+    EvaluationEngine,
+    EvaluationTask,
+    PoolFailure,
+    Quarantine,
+    RetryPolicy,
+    TaskOutcome,
+    run_task,
+)
+from repro.robustness.faults import parse_fault_plan
+from repro.utils.errors import EngineError, TaskCrashError
+
+CAP = 500
+LABELS = ["cactus/gru", "cactus/gst"]
+FAST = RetryPolicy(max_attempts=2, deadline_s=60.0, backoff_base_s=0.0)
+
+
+def task_for(label="cactus/gru", **overrides):
+    fields = dict(label=label, max_invocations=CAP, methods=("sieve",))
+    fields.update(overrides)
+    return EvaluationTask(**fields)
+
+
+def engine_for(tmp_path, jobs=1, use_cache=True, **overrides):
+    fields = dict(
+        jobs=jobs,
+        use_cache=use_cache,
+        cache_dir=tmp_path / "cache",
+        quarantine_path=tmp_path / "quarantine.json",
+        retry=FAST,
+    )
+    fields.update(overrides)
+    return EvaluationEngine(EngineConfig(**fields))
+
+
+# --------------------------------------------------------------------- #
+# Satellite: partial-result reuse on pool failure
+
+
+def test_pool_failure_reuses_completed_results(tmp_path, monkeypatch):
+    """A pool that dies after task 1 of 2 must not recompute task 1."""
+    tasks = [task_for(label) for label in LABELS]
+    first = run_task(tasks[0])
+
+    def dying_pool(jobs, pool_tasks):
+        raise PoolFailure([first], OSError("worker lost"))
+
+    monkeypatch.setattr(engine_mod, "_pool_map", dying_pool)
+    recomputed = []
+    real_run_task = run_task
+    monkeypatch.setattr(
+        engine_mod,
+        "run_task",
+        lambda task: recomputed.append(task.label) or real_run_task(task),
+    )
+
+    engine = engine_for(tmp_path, jobs=2)
+    results = engine.run(tasks)
+    assert [r.label for r in results] == LABELS
+    # Only the task *after* the failure point ran serially.
+    assert recomputed == [LABELS[1]]
+    assert pickle.dumps(results[0].results) == pickle.dumps(first)
+
+    # Cache re-emission: the reused prefix was written through too, so a
+    # fresh engine on the same cache serves everything warm.
+    warm = engine_for(tmp_path, jobs=1)
+    replay = warm.run(tasks)
+    assert all(r.from_cache for r in replay)
+    for before, after in zip(results, replay):
+        assert pickle.dumps(before.results) == pickle.dumps(after.results)
+
+
+def test_pool_failure_without_fallback_reraises_cause(tmp_path, monkeypatch):
+    cause = OSError("worker lost")
+    monkeypatch.setattr(
+        engine_mod,
+        "_pool_map",
+        lambda jobs, tasks: (_ for _ in ()).throw(PoolFailure([], cause)),
+    )
+    engine = engine_for(tmp_path, jobs=2, serial_fallback=False)
+    with pytest.raises(OSError) as excinfo:
+        engine.run([task_for(label) for label in LABELS])
+    assert excinfo.value is cause
+
+
+# --------------------------------------------------------------------- #
+# Retry policy / outcome plumbing
+
+
+def test_retry_policy_validation():
+    with pytest.raises(EngineError):
+        RetryPolicy(max_attempts=0)
+    with pytest.raises(EngineError):
+        RetryPolicy(deadline_s=0.0)
+    with pytest.raises(EngineError):
+        RetryPolicy(backoff_factor=0.5)
+    policy = RetryPolicy(backoff_base_s=0.05, backoff_factor=2.0)
+    assert policy.backoff(0) == pytest.approx(0.05)
+    assert policy.backoff(2) == pytest.approx(0.2)
+
+
+def test_failed_outcome_indexing_raises_typed_error():
+    outcome = TaskOutcome("cactus/gru", "crash", error="exitcode=13")
+    assert not outcome.ok
+    with pytest.raises(TaskCrashError):
+        outcome["sieve"]
+
+
+# --------------------------------------------------------------------- #
+# Crash isolation
+
+
+def test_run_isolated_matches_run_when_healthy(tmp_path):
+    engine = engine_for(tmp_path, use_cache=False)
+    tasks = [task_for(label) for label in LABELS]
+    outcomes = engine.run_isolated(tasks)
+    plain = engine.run(tasks)
+    assert [o.status for o in outcomes] == ["ok", "ok"]
+    assert [o.attempts for o in outcomes] == [1, 1]
+    for outcome, result in zip(outcomes, plain):
+        assert pickle.dumps(dict(outcome.results)) == pickle.dumps(result.results)
+
+
+def test_crashing_task_fails_alone_and_is_quarantined(tmp_path):
+    """A worker dying via os._exit costs one task, then strikes it out."""
+    plan = parse_fault_plan("crash:1.0", seed=3)
+    tasks = [
+        task_for(LABELS[0], fault_plan=plan),
+        task_for(LABELS[1]),
+    ]
+    engine = engine_for(tmp_path)
+    outcomes = engine.run_isolated(tasks)
+    assert outcomes[0].status == "crash"
+    assert outcomes[0].attempts == FAST.max_attempts
+    assert "exitcode" in outcomes[0].error
+    assert outcomes[1].ok
+
+    # Second failing run reaches the threshold (2): third run skips it.
+    engine.run_isolated(tasks[:1])
+    assert engine.quarantine.is_quarantined("task", LABELS[0])
+    skipped = engine.run_isolated(tasks[:1])
+    assert skipped[0].status == "quarantined"
+    assert skipped[0].attempts == 0
+
+    # The quarantine survives engine restart via its JSON file.
+    reborn = engine_for(tmp_path)
+    assert reborn.quarantine.is_quarantined("task", LABELS[0])
+    assert ("task", LABELS[0], 2) in reborn.quarantine.entries()
+    assert reborn.quarantine.clear("task") == 1
+    assert not reborn.quarantine.is_quarantined("task", LABELS[0])
+
+
+def test_hanging_task_times_out_per_attempt(tmp_path):
+    plan = parse_fault_plan("hang:1.0", seed=5)
+    engine = engine_for(tmp_path, use_cache=False)
+    policy = RetryPolicy(max_attempts=2, deadline_s=1.5, backoff_base_s=0.0)
+    outcomes = engine.run_isolated([task_for(fault_plan=plan)], policy=policy)
+    assert outcomes[0].status == "timeout"
+    assert outcomes[0].attempts == 2
+    assert "deadline" in outcomes[0].error
+
+
+def test_injected_task_error_is_reported(tmp_path):
+    plan = parse_fault_plan("task_error:1.0", seed=9)
+    engine = engine_for(tmp_path, use_cache=False)
+    outcomes = engine.run_isolated([task_for(fault_plan=plan)])
+    assert outcomes[0].status == "error"
+    assert "injected task fault" in outcomes[0].error
+
+
+def test_isolated_results_are_cached_for_plain_run(tmp_path):
+    engine = engine_for(tmp_path)
+    task = task_for()
+    outcomes = engine.run_isolated([task])
+    assert outcomes[0].ok and not outcomes[0].from_cache
+    again = engine.run_isolated([task])
+    assert again[0].from_cache
+    plain = engine.run([task])
+    assert plain[0].from_cache
+    assert pickle.dumps(dict(outcomes[0].results)) == pickle.dumps(plain[0].results)
+
+
+# --------------------------------------------------------------------- #
+# Quarantine bookkeeping
+
+
+def test_quarantine_strikes_persist_and_round_trip(tmp_path):
+    path = tmp_path / "q.json"
+    quarantine = Quarantine(path, threshold=2)
+    assert quarantine.strike("task", "a/b") == 1
+    assert not quarantine.is_quarantined("task", "a/b")
+    assert quarantine.strike("task", "a/b") == 2
+    assert quarantine.is_quarantined("task", "a/b")
+    quarantine.strike("cache", "deadbeef")
+
+    reloaded = Quarantine(path, threshold=2)
+    assert reloaded.entries() == [("cache", "deadbeef", 1), ("task", "a/b", 2)]
+    assert reloaded.clear() == 2
+    assert Quarantine(path, threshold=2).entries() == []
+
+
+def test_quarantine_rejects_unknown_kind(tmp_path):
+    quarantine = Quarantine(tmp_path / "q.json")
+    with pytest.raises(EngineError):
+        quarantine.strike("bogus", "x")
+
+
+def test_corrupt_cache_entry_strikes_and_quarantined_key_not_rewritten(tmp_path):
+    engine = engine_for(tmp_path)
+    task = task_for()
+    key = task.cache_key()
+    path = engine.cache.path_for(key)
+
+    for expected_strikes in (1, 2):
+        engine.run([task])
+        assert path.exists()
+        path.write_bytes(b"garbage")
+        engine.run([task])  # drops the corrupt entry -> one cache strike
+        strikes = dict(
+            ((kind, ident), count)
+            for kind, ident, count in engine.quarantine.entries()
+        )
+        assert strikes.get(("cache", key)) == expected_strikes
+
+    # Two strikes -> quarantined: the key is no longer written through.
+    assert engine.quarantine.is_quarantined("cache", key)
+    engine.run([task])
+    assert not path.exists()
+
+
+# --------------------------------------------------------------------- #
+# Satellite: determinism under injected chaos (hypothesis)
+
+
+@settings(
+    max_examples=3,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    plan_text=st.sampled_from(
+        ("crash:0.5", "task_error:0.6", "crash:0.4,task_error:0.4")
+    ),
+)
+def test_chaos_survivors_identical_serial_vs_parallel(tmp_path_factory, seed, plan_text):
+    """Sabotage depends only on (plan.seed, label, attempt), never on
+    scheduling: jobs=1 and jobs=4 agree on statuses, attempt counts and
+    the exact bytes of every surviving result."""
+    plan = parse_fault_plan(plan_text, seed=seed)
+    tasks = [task_for(label, fault_plan=plan) for label in LABELS]
+
+    def outcomes_with(jobs):
+        tmp = tmp_path_factory.mktemp("chaos")
+        engine = engine_for(tmp, jobs=jobs, use_cache=False)
+        return engine.run_isolated(tasks, policy=FAST)
+
+    serial = outcomes_with(1)
+    parallel = outcomes_with(4)
+    assert [(o.label, o.status, o.attempts) for o in serial] == [
+        (o.label, o.status, o.attempts) for o in parallel
+    ]
+    for left, right in zip(serial, parallel):
+        if left.ok:
+            assert pickle.dumps(dict(left.results)) == pickle.dumps(
+                dict(right.results)
+            )

@@ -1,0 +1,101 @@
+"""Mutation-space tests: candidates are valid, deterministic and local.
+
+``make_candidate(seed, i)`` must be a pure function of its arguments —
+that property is what makes campaigns resumable (scored indices can be
+skipped and regenerated) and findings reproducible from their seed.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.fuzz.mutation import (
+    DATA_FAULT_MODES,
+    Candidate,
+    get_knob,
+    make_candidate,
+    mutable_knobs,
+    plan_from_dict,
+    plan_to_dict,
+)
+from repro.robustness.faults import FAULT_MODES, FaultPlan, FaultSpec
+from repro.workloads.catalog import spec_for
+
+SEED = "pytest-fuzz"
+
+
+def test_make_candidate_is_pure():
+    for index in range(8):
+        first = make_candidate(SEED, index)
+        second = make_candidate(SEED, index)
+        assert first == second
+        assert first.spec == second.spec
+        assert first.fault_plan == second.fault_plan
+
+
+def test_candidates_differ_across_indices_and_seeds():
+    specs = {make_candidate(SEED, i).spec for i in range(8)}
+    assert len(specs) == 8
+    assert make_candidate(SEED, 0) != make_candidate("other-seed", 0)
+
+
+@pytest.mark.parametrize("index", range(30))
+def test_candidate_specs_are_valid(index):
+    candidate = make_candidate(SEED, index)
+    spec = candidate.spec
+    # Identity: campaign-addressable label, traceable ancestry.
+    assert spec.suite == "fuzz"
+    assert spec.name == f"{SEED}-{index:04d}"
+    assert candidate.label == f"fuzz/{SEED}-{index:04d}"
+    spec_for(candidate.base_label)  # base must resolve in the catalog
+    # Structural invariants the generator relies on.
+    assert 1 <= spec.alias_groups <= spec.num_kernels
+    assert spec.num_invocations >= spec.num_kernels
+    assert abs(sum(spec.tier_fractions) - 1.0) < 1e-9
+    # Fault plans only ever corrupt data; task-surface chaos is layered
+    # separately by the campaign config.
+    if candidate.fault_plan is not None:
+        for fault in candidate.fault_plan.specs:
+            assert fault.mode in DATA_FAULT_MODES
+            assert "task" not in FAULT_MODES[fault.mode]
+            assert 0.0 < fault.rate <= 0.15
+
+
+def test_candidate_mutates_knobs_away_from_base():
+    mutated_any = False
+    for index in range(10):
+        candidate = make_candidate(SEED, index)
+        base = spec_for(candidate.base_label)
+        diffs = [
+            knob
+            for knob in mutable_knobs()
+            if get_knob(candidate.spec, knob) != get_knob(base, knob)
+        ]
+        if diffs:
+            mutated_any = True
+    assert mutated_any
+
+
+def test_candidate_round_trips_through_dict():
+    for index in (0, 3, 7):
+        candidate = make_candidate(SEED, index)
+        clone = Candidate.from_dict(candidate.to_dict())
+        assert clone == candidate
+        assert dataclasses.asdict(clone.spec) == dataclasses.asdict(candidate.spec)
+
+
+def test_plan_round_trips_through_dict():
+    assert plan_to_dict(None) is None
+    assert plan_from_dict(None) is None
+    plan = FaultPlan(
+        specs=(FaultSpec(mode="nan", rate=0.05), FaultSpec(mode="duplicate", rate=0.1)),
+        seed=42,
+    )
+    assert plan_from_dict(plan_to_dict(plan)) == plan
+
+
+def test_mutable_knobs_is_sorted_and_nonempty():
+    knobs = mutable_knobs()
+    assert knobs == tuple(sorted(knobs))
+    assert "num_kernels" in knobs
+    assert "tier_fractions" in knobs

@@ -1,0 +1,106 @@
+"""Scoring arithmetic: pure functions over already-computed results."""
+
+import pytest
+
+from repro.fuzz.scoring import (
+    CandidateScore,
+    GaugeViolations,
+    ScoreWeights,
+    gauge_violations,
+    score_results,
+)
+from repro.observability.attribution import ErrorAttribution, StratumHealth
+
+
+def health(cov_drift=0.0, rep_distance=0.0, split_balance=1.0):
+    return StratumHealth(
+        group="k0:t1",
+        kernel_name="k0",
+        tier="tier1",
+        size=10,
+        occupancy=0.5,
+        insn_cov=0.4,
+        cov_drift=cov_drift,
+        rep_distance=rep_distance,
+        split_balance=split_balance,
+    )
+
+
+def attribution_with(*healths):
+    return ErrorAttribution(
+        workload="w",
+        method="sieve",
+        predicted_cycles=1.0,
+        measured_cycles=1.0,
+        signed_error=0.0,
+        per_kernel=(),
+        per_group=(),
+        groups_partition=True,
+        health=tuple(healths),
+    )
+
+
+class FakeResult:
+    """Duck-typed MethodResult: scoring only reads error + attribution."""
+
+    def __init__(self, error, attribution=None):
+        self.error = error
+        self.attribution = attribution
+
+
+def test_gauge_violations_empty():
+    assert gauge_violations(None) == GaugeViolations()
+    assert gauge_violations(attribution_with()) == GaugeViolations()
+
+
+def test_gauge_violations_aggregation():
+    violations = gauge_violations(
+        attribution_with(
+            health(cov_drift=0.2, rep_distance=0.1, split_balance=0.8),
+            health(cov_drift=-0.3, rep_distance=0.7, split_balance=0.05),
+        )
+    )
+    # Positive drifts sum; negative drift (within target) is ignored.
+    assert violations.cov_drift == pytest.approx(0.2)
+    assert violations.rep_distance == pytest.approx(0.7)
+    assert violations.split_imbalance == pytest.approx(0.95)
+    # Stratum 1 violates drift, stratum 2 violates rep + split.
+    assert violations.strata == 2
+
+
+def test_score_leads_with_worst_method_error():
+    results = {
+        "sieve": FakeResult(error=-0.02),
+        "pks": FakeResult(error=0.15),
+    }
+    score = score_results(results)
+    assert score.worst_method == "pks"
+    assert score.max_error == pytest.approx(0.15)
+    assert score.score == pytest.approx(0.15)  # no sieve attribution
+    assert score.errors == (("pks", 0.15), ("sieve", 0.02))
+
+
+def test_score_ties_break_lexicographically():
+    results = {"sieve": FakeResult(0.1), "pks": FakeResult(0.1)}
+    assert score_results(results).worst_method == "sieve"
+
+
+def test_violations_inflate_score_with_weights():
+    attribution = attribution_with(
+        health(cov_drift=0.4, rep_distance=0.2, split_balance=0.5)
+    )
+    results = {"sieve": FakeResult(error=0.1, attribution=attribution)}
+    weights = ScoreWeights(cov_drift=1.0, rep_distance=2.0, split_imbalance=4.0)
+    score = score_results(results, weights)
+    assert score.max_error == pytest.approx(0.1)
+    assert score.score == pytest.approx(0.1 + 1.0 * 0.4 + 2.0 * 0.2 + 4.0 * 0.5)
+
+
+def test_candidate_score_round_trips_through_dict():
+    attribution = attribution_with(
+        health(cov_drift=0.3, rep_distance=0.6, split_balance=0.2)
+    )
+    score = score_results(
+        {"sieve": FakeResult(0.07, attribution), "pks": FakeResult(0.21)}
+    )
+    assert CandidateScore.from_dict(score.to_dict()) == score

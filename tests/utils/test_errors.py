@@ -3,24 +3,72 @@
 import pytest
 
 from repro.utils.errors import (
+    CheckpointError,
+    EngineError,
     FaultInjectionError,
+    FuzzError,
     PredictionError,
     ProfileError,
+    QuarantinedTaskError,
     ReproError,
     SelectionError,
+    SieveError,
+    TaskCrashError,
+    TaskTimeoutError,
 )
 from repro.utils.validation import require
 
 
 @pytest.mark.parametrize(
     "exc_type",
-    [ReproError, ProfileError, SelectionError, PredictionError, FaultInjectionError],
+    [
+        ReproError,
+        ProfileError,
+        SelectionError,
+        PredictionError,
+        FaultInjectionError,
+        EngineError,
+        TaskTimeoutError,
+        TaskCrashError,
+        QuarantinedTaskError,
+        FuzzError,
+        CheckpointError,
+    ],
 )
 def test_hierarchy_is_catchable_as_value_error(exc_type):
     # Backwards compatibility: all repro errors remain ValueErrors so
     # pre-existing callers that catch ValueError keep working.
-    assert issubclass(exc_type, ReproError)
+    assert issubclass(exc_type, SieveError)
     assert issubclass(exc_type, ValueError)
+
+
+def test_repro_error_is_sieve_error_alias():
+    assert ReproError is SieveError
+
+
+def test_engine_subtypes_catchable_as_engine_error():
+    for exc_type in (TaskTimeoutError, TaskCrashError, QuarantinedTaskError):
+        assert issubclass(exc_type, EngineError)
+    assert issubclass(CheckpointError, FuzzError)
+
+
+def test_context_renders_as_sorted_suffix():
+    exc = SieveError("task failed", workload="fuzz/s-0001", attempt=2)
+    assert exc.message == "task failed"
+    assert exc.context == {"workload": "fuzz/s-0001", "attempt": 2}
+    assert str(exc) == "task failed [attempt=2, workload='fuzz/s-0001']"
+
+
+def test_context_drops_none_fields():
+    exc = EngineError("timed out", deadline_s=30.0, error=None)
+    assert exc.context == {"deadline_s": 30.0}
+    assert str(exc) == "timed out [deadline_s=30.0]"
+
+
+def test_no_context_renders_plain_message():
+    exc = SieveError("plain")
+    assert exc.context == {}
+    assert str(exc) == "plain"
 
 
 def test_profile_error_carries_location():
