@@ -46,7 +46,9 @@ FAULT_AWARE_COMMANDS = frozenset({"fig3", "fig8", "compare", "sample", "attribut
 
 #: Commands whose handlers route work through the evaluation engine
 #: (and therefore honor --jobs / --no-cache / --cache-dir).
-ENGINE_AWARE_COMMANDS = frozenset({"fig3", "fig8", "compare", "fuzz"})
+ENGINE_AWARE_COMMANDS = frozenset(
+    {"fig3", "fig8", "compare", "fuzz", "serve", "loadgen"}
+)
 
 #: Artifacts the current command deposited for --trace-out: the engine it
 #: ran through and the comparison rows/aggregates it printed. Reset per
@@ -592,6 +594,117 @@ def _cmd_cache(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    """Run the sampling service in the foreground until interrupted."""
+    import asyncio
+
+    from repro.service.server import ServiceConfig, SieveService
+
+    config = ServiceConfig(
+        host=args.host,
+        port=args.port,
+        window_s=args.window_s,
+        max_batch=args.max_batch,
+        jobs=args.jobs,
+        use_cache=not args.no_cache,
+        cache_dir=args.cache_dir,
+        deadline_s=args.deadline_s,
+    )
+    service = SieveService(config)
+    _trace_artifacts["engine"] = service.engine
+
+    async def _run() -> None:
+        server = asyncio.create_task(service.serve())
+        while service.port is None and not server.done():
+            await asyncio.sleep(0.01)
+        if service.port is not None:
+            print(
+                f"[serve] listening on http://{service.host}:{service.port} "
+                f"(jobs={config.jobs}, window={config.window_s * 1000:.1f}ms)",
+                file=sys.stderr,
+            )
+        await server
+
+    try:
+        asyncio.run(_run())
+    except KeyboardInterrupt:
+        print("[serve] stopped", file=sys.stderr)
+    return 0
+
+
+def _cmd_loadgen(args) -> int:
+    """Generate/replay a request schedule against a running service."""
+    from repro.service import loadgen
+    from repro.service.server import ServiceConfig, start_in_thread
+    from repro.workloads.catalog import specs_for_suites
+
+    if args.trace:
+        requests = loadgen.load_trace(args.trace)
+    else:
+        if args.workloads:
+            workloads = tuple(
+                label.strip() for label in args.workloads.split(",") if label.strip()
+            )
+        else:
+            workloads = tuple(
+                f"{spec.suite}/{spec.name}"
+                for spec in specs_for_suites(CHALLENGING_SUITES)
+            )
+        mix = loadgen.RequestMix(
+            workloads=workloads,
+            methods=tuple(
+                name.strip() for name in args.methods.split(",") if name.strip()
+            ),
+            cap=args.cap if args.cap is not None else 400,
+            predict_fraction=args.predict_fraction,
+        )
+        requests = loadgen.generate_requests(
+            loadgen.parse_pattern(args.pattern), mix, args.requests, args.seed
+        )
+    if args.record:
+        path = loadgen.save_trace(requests, args.record)
+        print(f"[loadgen] trace written to {path}", file=sys.stderr)
+    if args.dry_run:
+        print(f"[loadgen] generated {len(requests)} requests (dry run)")
+        return 0
+
+    handle = None
+    if args.spawn:
+        handle = start_in_thread(
+            ServiceConfig(
+                jobs=args.jobs,
+                use_cache=not args.no_cache,
+                cache_dir=args.cache_dir,
+            )
+        )
+        host, port = handle.host, handle.port
+        print(f"[loadgen] spawned service at {handle.url}", file=sys.stderr)
+    else:
+        if args.port is None:
+            print("error: --port is required without --spawn", file=sys.stderr)
+            return 2
+        host, port = args.host, args.port
+    try:
+        report = loadgen.run_loadgen(
+            host,
+            port,
+            requests,
+            clients=args.clients,
+            open_loop=args.open_loop,
+            timeout_s=args.timeout_s,
+        )
+    finally:
+        if handle is not None:
+            handle.stop()
+    for key, value in report.summary().items():
+        print(f"{key}: {value}")
+    if args.bench_out:
+        manifest = report.to_manifest()
+        path = manifest.save(args.bench_out)
+        print(f"[loadgen] manifest written to {path}", file=sys.stderr)
+    return 1 if report.status_counts()["http_5xx"] else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="sieve-repro",
@@ -867,6 +980,99 @@ def build_parser() -> argparse.ArgumentParser:
                       help="re-evaluate the committed adversarial suite "
                       "against its pinned errors and exit (1 on drift)")
     fuzz.set_defaults(handler=_cmd_fuzz)
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the sampling-as-a-service HTTP server "
+        "(POST /v1/select, /v1/predict; GET /v1/methods, /v1/healthz, "
+        "/v1/metrics)",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=8712,
+        help="listen port (default 8712; 0 = ephemeral)",
+    )
+    serve.add_argument(
+        "--window-s", type=float, default=0.005, dest="window_s",
+        help="micro-batching window in seconds (default 0.005)",
+    )
+    serve.add_argument(
+        "--max-batch", type=int, default=32,
+        help="max engine tasks per batch (default 32)",
+    )
+    serve.add_argument(
+        "--deadline-s", type=float, default=120.0, dest="deadline_s",
+        help="per-attempt task deadline in seconds (default 120)",
+    )
+    serve.set_defaults(handler=_cmd_serve)
+
+    loadgen = sub.add_parser(
+        "loadgen",
+        help="drive the service with seeded synthetic traffic or a "
+        "recorded trace and report throughput/latency",
+    )
+    loadgen.add_argument("--host", default="127.0.0.1")
+    loadgen.add_argument(
+        "--port", type=int, default=None,
+        help="target service port (required unless --spawn)",
+    )
+    loadgen.add_argument(
+        "--spawn", action="store_true",
+        help="boot a private service in-process for the run",
+    )
+    loadgen.add_argument(
+        "--pattern", default="poisson:50",
+        help="arrival pattern: static:RATE, poisson:RATE or "
+        "dynamic:RATE@FRAC,... (default poisson:50)",
+    )
+    loadgen.add_argument(
+        "--requests", type=int, default=64,
+        help="number of requests to generate (default 64)",
+    )
+    loadgen.add_argument(
+        "--clients", type=int, default=8,
+        help="concurrent client connections (default 8)",
+    )
+    loadgen.add_argument("--seed", type=int, default=0)
+    loadgen.add_argument(
+        "--workloads", default=None,
+        help="comma-separated catalog labels "
+        "(default: the challenging suites)",
+    )
+    loadgen.add_argument(
+        "--methods", default="sieve,pks",
+        help="comma-separated method names to mix (default sieve,pks)",
+    )
+    loadgen.add_argument(
+        "--predict-fraction", type=float, default=0.5, dest="predict_fraction",
+        help="fraction of requests hitting /v1/predict (default 0.5)",
+    )
+    loadgen.add_argument(
+        "--open-loop", action="store_true", dest="open_loop",
+        help="honor the schedule's arrival offsets instead of "
+        "closed-loop max pressure",
+    )
+    loadgen.add_argument(
+        "--timeout-s", type=float, default=60.0, dest="timeout_s",
+        help="per-request client timeout (default 60)",
+    )
+    loadgen.add_argument(
+        "--trace", default=None,
+        help="replay a recorded JSONL trace instead of generating",
+    )
+    loadgen.add_argument(
+        "--record", default=None,
+        help="save the generated schedule as a JSONL trace",
+    )
+    loadgen.add_argument(
+        "--dry-run", action="store_true", dest="dry_run",
+        help="generate (and optionally --record) without running",
+    )
+    loadgen.add_argument(
+        "--bench-out", default=None, dest="bench_out",
+        help="write a BENCH_service-style manifest to PATH",
+    )
+    loadgen.set_defaults(handler=_cmd_loadgen)
 
     cache = sub.add_parser(
         "cache", help="inspect or clear the on-disk evaluation result cache"

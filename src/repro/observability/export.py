@@ -52,6 +52,7 @@ __all__ = [
     "canonical_events",
     "chrome_trace",
     "export_jsonl",
+    "parse_prometheus",
     "prometheus_text",
     "read_jsonl_spans",
     "record_to_dict",
@@ -418,6 +419,82 @@ def prometheus_text(snapshot: Mapping) -> str:
     return "".join(
         "\n".join(families[name]) + "\n" for name in sorted(families)
     )
+
+
+#: One Prometheus sample line: name, optional {labels}, value.
+_SAMPLE_LINE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r"\s+(?P<value>[^\s]+)$"
+)
+_LABEL_PAIR = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+
+def parse_prometheus(text: str) -> dict[str, dict]:
+    """Validate and parse Prometheus exposition text back into samples.
+
+    The strict inverse check for :func:`prometheus_text`: every
+    non-comment line must be a well-formed sample whose family was
+    declared by a preceding ``# TYPE`` line, values must parse as floats
+    (``+Inf``/``-Inf``/``NaN`` included), and histogram families must
+    carry ``_sum``/``_count`` series. Returns ``{family: {"type": kind,
+    "samples": [(name, labels, value), ...]}}``; raises
+    :class:`ValueError` on any malformation — the service smoke job
+    uses this to assert ``/v1/metrics`` stays standards-valid.
+    """
+    families: dict[str, dict] = {}
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split()
+            if len(parts) != 4:
+                raise ValueError(f"line {lineno}: malformed TYPE line {line!r}")
+            _, _, name, kind = parts
+            if kind not in ("counter", "gauge", "histogram", "summary", "untyped"):
+                raise ValueError(f"line {lineno}: unknown metric type {kind!r}")
+            if name in families:
+                raise ValueError(f"line {lineno}: duplicate TYPE for {name!r}")
+            families[name] = {"type": kind, "samples": []}
+            continue
+        if line.startswith("#"):
+            continue  # HELP/comment lines are legal, uninterpreted
+        match = _SAMPLE_LINE.match(line)
+        if match is None:
+            raise ValueError(f"line {lineno}: malformed sample {line!r}")
+        name = match.group("name")
+        labels: dict[str, str] = {}
+        raw_labels = match.group("labels")
+        if raw_labels:
+            matched_span = "".join(
+                f'{k}="{v}",' for k, v in _LABEL_PAIR.findall(raw_labels)
+            ).rstrip(",")
+            if matched_span != raw_labels.rstrip(","):
+                raise ValueError(f"line {lineno}: malformed labels {raw_labels!r}")
+            labels = {k: v for k, v in _LABEL_PAIR.findall(raw_labels)}
+        raw_value = match.group("value")
+        try:
+            value = float(raw_value.replace("+Inf", "inf").replace("-Inf", "-inf"))
+        except ValueError as exc:
+            raise ValueError(
+                f"line {lineno}: bad sample value {raw_value!r}"
+            ) from exc
+        family = name
+        for suffix in ("_bucket", "_sum", "_count"):
+            if name.endswith(suffix) and name[: -len(suffix)] in families:
+                family = name[: -len(suffix)]
+                break
+        if family not in families:
+            raise ValueError(f"line {lineno}: sample {name!r} has no TYPE line")
+        families[family]["samples"].append((name, labels, value))
+    for name, payload in families.items():
+        if payload["type"] != "histogram":
+            continue
+        sample_names = {sample[0] for sample in payload["samples"]}
+        for required in (f"{name}_sum", f"{name}_count", f"{name}_bucket"):
+            if required not in sample_names:
+                raise ValueError(f"histogram {name!r} is missing {required}")
+    return families
 
 
 def write_prometheus(path: str | Path, snapshot: Mapping) -> Path:

@@ -137,6 +137,32 @@ class MethodConfigError(MethodRegistryError):
     """A method was handed a config of the wrong type for its schema."""
 
 
+class ServiceError(SieveError):
+    """The sampling service was misused or failed internally.
+
+    Base class for everything :mod:`repro.service` raises; carries the
+    HTTP status the server should answer with so the error-mapping layer
+    stays a single table-free ``except`` clause."""
+
+    #: HTTP status the server maps this error onto.
+    http_status: int = 500
+
+
+class BadRequestError(ServiceError):
+    """A service request was malformed (bad JSON, unknown field, a
+    method/config combination that cannot be built). Always a client
+    error: maps to HTTP 400."""
+
+    http_status = 400
+
+
+class ServiceUnavailableError(ServiceError):
+    """The service cannot take the request right now (shutting down,
+    task quarantined after repeated failures). Maps to HTTP 503."""
+
+    http_status = 503
+
+
 class FuzzError(SieveError):
     """The fuzzing campaign was misconfigured or hit an invariant failure
     (bad budget, mutation producing an unconstructible spec)."""

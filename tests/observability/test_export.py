@@ -212,6 +212,50 @@ def test_prometheus_sanitizes_names_and_escapes_labels():
     assert r"a\"b\\c" in text
 
 
+def test_parse_prometheus_round_trips_exporter_output():
+    from repro.observability.export import parse_prometheus
+
+    registry = obs_metrics.get_registry()
+    registry.inc("roundtrip.calls", kind="a")
+    registry.set_gauge("roundtrip.ratio", 0.25)
+    registry.observe("roundtrip.sizes", 3.0)
+    families = parse_prometheus(prometheus_text(registry.snapshot()))
+    assert families["roundtrip_calls_total"]["type"] == "counter"
+    assert ("roundtrip_calls_total", {"kind": "a"}, 1.0) in families[
+        "roundtrip_calls_total"
+    ]["samples"]
+    assert families["roundtrip_ratio"]["samples"] == [
+        ("roundtrip_ratio", {}, 0.25)
+    ]
+    histogram = families["roundtrip_sizes"]
+    sample_names = {name for name, _, _ in histogram["samples"]}
+    assert {"roundtrip_sizes_sum", "roundtrip_sizes_count"} <= sample_names
+    inf_buckets = [
+        value
+        for name, labels, value in histogram["samples"]
+        if name == "roundtrip_sizes_bucket" and labels.get("le") == "+Inf"
+    ]
+    assert inf_buckets == [1.0]
+
+
+@pytest.mark.parametrize(
+    "text, match",
+    [
+        ("orphan 1\n", "no TYPE line"),
+        ("# TYPE a counter\na_total notanumber\n", "bad sample value"),
+        ("# TYPE a counter\na_total{x=1} 5\n", "malformed labels"),
+        ("# TYPE a wibble\n", "unknown metric type"),
+        ("# TYPE a counter\n# TYPE a gauge\n", "duplicate TYPE"),
+        ("# TYPE h histogram\nh_sum 1\nh_count 1\n", "missing h_bucket"),
+    ],
+)
+def test_parse_prometheus_rejects_malformed_text(text, match):
+    from repro.observability.export import parse_prometheus
+
+    with pytest.raises(ValueError, match=match):
+        parse_prometheus(text)
+
+
 # --------------------------------------------------------------------- #
 # Determinism under --jobs
 

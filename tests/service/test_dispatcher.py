@@ -1,0 +1,164 @@
+"""Dispatcher concurrency: coalescing, crash isolation, cancellation.
+
+These run against a stub engine (instant, scripted outcomes) so the
+batching semantics are tested without evaluation cost; the live-engine
+end of the same contract is covered in ``test_server.py``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+
+import pytest
+
+from repro.evaluation.engine import EvaluationTask, TaskOutcome
+from repro.service.batching import BatchingDispatcher
+from repro.utils.errors import ServiceUnavailableError
+
+
+class StubEngine:
+    """Scripted engine: records batches, optionally blocks, never raises."""
+
+    def __init__(self, fail_labels=(), release: threading.Event | None = None):
+        self.batches: list[list[EvaluationTask]] = []
+        self.fail_labels = set(fail_labels)
+        self.release = release
+
+    def run_isolated(self, tasks, policy=None):
+        if self.release is not None:
+            assert self.release.wait(timeout=30)
+        self.batches.append(list(tasks))
+        return [
+            TaskOutcome(
+                label=task.label,
+                status="crash" if task.label in self.fail_labels else "ok",
+                results=None if task.label in self.fail_labels else {},
+                attempts=1,
+                error="boom" if task.label in self.fail_labels else None,
+            )
+            for task in tasks
+        ]
+
+
+def task_for(label: str, cap: int = 100) -> EvaluationTask:
+    return EvaluationTask(label=label, max_invocations=cap, methods=("periodic",))
+
+
+def run(coroutine):
+    return asyncio.run(coroutine)
+
+
+def test_identical_requests_coalesce_to_one_engine_task():
+    async def main():
+        engine = StubEngine()
+        dispatcher = BatchingDispatcher(engine, window_s=0.02)
+        await dispatcher.start()
+        outcomes = await asyncio.gather(
+            *[dispatcher.submit(task_for("rodinia/nw")) for _ in range(6)]
+        )
+        await dispatcher.close()
+        return engine, dispatcher, outcomes
+
+    engine, dispatcher, outcomes = run(main())
+    assert len(engine.batches) == 1 and len(engine.batches[0]) == 1
+    assert dispatcher.stats.requests == 6
+    assert dispatcher.stats.coalesced == 5
+    assert dispatcher.stats.tasks == 1
+    assert all(outcome is outcomes[0] for outcome in outcomes)
+
+
+def test_distinct_requests_share_one_batch():
+    async def main():
+        engine = StubEngine()
+        dispatcher = BatchingDispatcher(engine, window_s=0.02)
+        await dispatcher.start()
+        labels = ["rodinia/nw", "rodinia/lud", "rodinia/srad"]
+        outcomes = await asyncio.gather(
+            *[dispatcher.submit(task_for(label)) for label in labels]
+        )
+        await dispatcher.close()
+        return engine, outcomes, labels
+
+    engine, outcomes, labels = run(main())
+    assert len(engine.batches) == 1
+    assert sorted(task.label for task in engine.batches[0]) == sorted(labels)
+    assert [outcome.label for outcome in outcomes] == labels
+
+
+def test_max_batch_splits_oversized_flushes():
+    async def main():
+        engine = StubEngine()
+        dispatcher = BatchingDispatcher(engine, window_s=0.02, max_batch=2)
+        await dispatcher.start()
+        # Distinct caps give every task a distinct cache key.
+        labels = ["rodinia/nw", "rodinia/lud", "rodinia/srad",
+                  "rodinia/cfd", "rodinia/nw"]
+        outcomes = await asyncio.gather(
+            *[dispatcher.submit(task_for(label, cap=50 + i))
+              for i, label in enumerate(labels)]
+        )
+        await dispatcher.close()
+        return engine, outcomes
+
+    engine, outcomes = run(main())
+    assert [len(batch) for batch in engine.batches] == [2, 2, 1]
+    assert len(outcomes) == 5
+
+
+def test_crashing_task_fails_only_its_own_requests():
+    async def main():
+        engine = StubEngine(fail_labels={"rodinia/lud"})
+        dispatcher = BatchingDispatcher(engine, window_s=0.02)
+        await dispatcher.start()
+        crash, ok = await asyncio.gather(
+            dispatcher.submit(task_for("rodinia/lud")),
+            dispatcher.submit(task_for("rodinia/nw")),
+        )
+        await dispatcher.close()
+        return dispatcher, crash, ok
+
+    dispatcher, crash, ok = run(main())
+    assert crash.status == "crash" and crash.error == "boom"
+    assert ok.status == "ok"
+    assert dispatcher.stats.failures == 1
+
+
+def test_cancelled_waiter_does_not_poison_siblings():
+    async def main():
+        release = threading.Event()
+        engine = StubEngine(release=release)
+        dispatcher = BatchingDispatcher(engine, window_s=0.005)
+        await dispatcher.start()
+        first = asyncio.create_task(dispatcher.submit(task_for("rodinia/nw")))
+        second = asyncio.create_task(dispatcher.submit(task_for("rodinia/nw")))
+        other = asyncio.create_task(dispatcher.submit(task_for("rodinia/lud")))
+        await asyncio.sleep(0.05)  # batch is in flight, blocked on release
+        first.cancel()
+        with pytest.raises(asyncio.CancelledError):
+            await first
+        release.set()
+        second_outcome = await second
+        other_outcome = await other
+        await dispatcher.close()
+        return second_outcome, other_outcome
+
+    second_outcome, other_outcome = run(main())
+    assert second_outcome.status == "ok"
+    assert second_outcome.label == "rodinia/nw"
+    assert other_outcome.status == "ok"
+
+
+def test_close_fails_queued_requests_and_rejects_new_ones():
+    async def main():
+        # Never start the flusher: submissions stay queued.
+        dispatcher = BatchingDispatcher(StubEngine(), window_s=0.02)
+        waiter = asyncio.create_task(dispatcher.submit(task_for("rodinia/nw")))
+        await asyncio.sleep(0.01)
+        await dispatcher.close()
+        with pytest.raises(ServiceUnavailableError):
+            await waiter
+        with pytest.raises(ServiceUnavailableError):
+            await dispatcher.submit(task_for("rodinia/lud"))
+
+    run(main())

@@ -1,0 +1,193 @@
+"""The HTTP surface end to end against a live in-process server."""
+
+from __future__ import annotations
+
+import json
+import pickle
+import socket
+
+import pytest
+
+from repro.core.config import SieveConfig
+from repro.evaluation.context import build_context
+from repro.evaluation.runner import evaluate_method
+from repro.observability.export import parse_prometheus
+from repro.profiling.csv_io import read_profile_csv, write_profile_csv
+from repro.service import protocol
+
+
+def test_healthz_reports_dispatcher_and_engine(client):
+    status, body, _ = client.get("/v1/healthz")
+    assert status == 200
+    assert body["status"] == "ok"
+    assert set(body["dispatcher"]) == {
+        "requests", "coalesced", "batches", "tasks", "failures"
+    }
+    assert body["engine"]["jobs"] == 1 and body["engine"]["use_cache"] is True
+
+
+def test_methods_lists_the_full_registry(client):
+    status, body, _ = client.get("/v1/methods")
+    assert status == 200
+    by_name = {entry["name"]: entry for entry in body["methods"]}
+    assert set(by_name) == {"sieve", "pks", "pks-two-level", "periodic", "random"}
+    assert by_name["sieve"]["config_schema"] == "SieveConfig"
+    assert by_name["sieve"]["defaults"]["theta"] == 0.4
+    assert by_name["pks-two-level"]["defaults"]["pks"]["max_k"] >= 1
+
+
+def test_served_predict_matches_direct_evaluation(client):
+    payload = {"workload": "rodinia/nw", "method": "periodic", "cap": 200}
+    status, body, _ = client.post("/v1/predict", payload)
+    assert status == 200
+    direct = evaluate_method("periodic", build_context("rodinia/nw", 200), None)
+    assert body["result"] == protocol.result_to_dict(direct)
+    assert body["pickle_sha256"] == protocol.pickle_digest(direct)
+    assert body["request_id"].startswith("req-")
+    assert body["telemetry"]["attempts"] >= 0
+
+    status, body, _ = client.post("/v1/select", payload)
+    assert status == 200
+    assert body["result"] == protocol.selection_to_dict(direct.selection)
+    assert body["pickle_sha256"] == protocol.pickle_digest(direct.selection)
+
+
+def test_served_config_override_matches_direct(client):
+    payload = {
+        "workload": "rodinia/nw",
+        "method": "sieve",
+        "cap": 300,
+        "config": {"theta": 0.8},
+    }
+    status, body, _ = client.post("/v1/predict", payload)
+    assert status == 200
+    direct = evaluate_method(
+        "sieve", build_context("rodinia/nw", 300), SieveConfig(theta=0.8)
+    )
+    assert body["pickle_sha256"] == protocol.pickle_digest(direct)
+
+
+def test_request_ids_are_unique(client):
+    payload = {"workload": "rodinia/nw", "method": "periodic", "cap": 200}
+    ids = {client.post("/v1/select", payload)[1]["request_id"] for _ in range(3)}
+    assert len(ids) == 3
+
+
+def test_inline_csv_selection_equivalence(client, tmp_path):
+    table = build_context("rodinia/lud", 150).sieve_table
+    path = tmp_path / "profile.csv"
+    write_profile_csv(table, path)
+    status, body, _ = client.post(
+        "/v1/select", {"method": "sieve", "profile_csv": path.read_text()}
+    )
+    assert status == 200
+    assert body["telemetry"]["inline"] is True
+    from repro.core.pipeline import SievePipeline
+
+    direct = SievePipeline(SieveConfig()).select(read_profile_csv(path))
+    assert body["pickle_sha256"] == protocol.pickle_digest(direct)
+    assert body["result"] == protocol.selection_to_dict(direct)
+
+
+def test_inline_predict_is_a_400(client):
+    status, body, _ = client.post(
+        "/v1/predict",
+        {"method": "sieve", "profile_rows": [{"kernel_name": "k", "insn_count": 1}]},
+    )
+    assert status == 400
+    assert body["error"]["type"] == "BadRequestError"
+
+
+@pytest.mark.parametrize(
+    "route, payload, expected_type",
+    [
+        ("/v1/select", {"workload": "nope/nope"}, "BadRequestError"),
+        ("/v1/select", {"workload": "rodinia/nw", "method": "zzz"}, "UnknownMethodError"),
+        ("/v1/predict", {"workload": "rodinia/nw", "bogus": 1}, "BadRequestError"),
+    ],
+)
+def test_client_errors_are_typed_400s(client, route, payload, expected_type):
+    status, body, _ = client.post(route, payload)
+    assert status == 400
+    assert body["error"]["type"] == expected_type
+    assert body["error"]["message"]
+
+
+def test_malformed_json_is_a_400(client):
+    client.connection.request(
+        "POST", "/v1/select", body=b"{nope",
+        headers={"Content-Length": "5"},
+    )
+    response = client.connection.getresponse()
+    body = json.loads(response.read())
+    assert response.status == 400
+    assert body["error"]["type"] == "BadRequestError"
+
+
+def test_unknown_route_and_wrong_verb(client):
+    status, body, _ = client.get("/v1/nope")
+    assert status == 404 and body["error"]["type"] == "NotFoundError"
+    status, body, _ = client.get("/v1/select")
+    assert status == 405 and body["error"]["type"] == "MethodNotAllowedError"
+
+
+def test_crashing_task_is_structured_500_sibling_unaffected(client):
+    # crash:1.0 makes every attempt die in the supervised child; the
+    # response must carry the typed engine error for *this* request.
+    status, body, _ = client.post(
+        "/v1/predict",
+        {
+            "workload": "rodinia/cfd",
+            "method": "periodic",
+            "cap": 150,
+            "faults": "crash:1.0",
+            "fault_seed": 11,
+        },
+    )
+    assert status == 500
+    assert body["error"]["type"] == "TaskCrashError"
+    assert body["error"]["context"]["workload"] == "rodinia/cfd"
+    assert body["error"]["context"]["attempts"] >= 1
+
+    status, body, _ = client.post(
+        "/v1/predict", {"workload": "rodinia/nw", "method": "periodic", "cap": 200}
+    )
+    assert status == 200
+
+
+def test_abrupt_disconnect_does_not_poison_the_server(service, client):
+    # Half-send a request, then slam the socket shut mid-body.
+    raw = socket.create_connection((service.host, service.port), timeout=10)
+    raw.sendall(
+        b"POST /v1/select HTTP/1.1\r\nContent-Length: 400\r\n\r\n{\"workload\":"
+    )
+    raw.close()
+    status, body, _ = client.post(
+        "/v1/select", {"workload": "rodinia/nw", "method": "periodic", "cap": 200}
+    )
+    assert status == 200
+
+
+def test_metrics_expose_valid_prometheus_text(client):
+    client.post("/v1/select", {"workload": "rodinia/nw", "method": "periodic", "cap": 200})
+    status, text, content_type = client.get("/v1/metrics")
+    assert status == 200
+    assert content_type.startswith("text/plain")
+    families = parse_prometheus(text)
+    assert "service_requests_total" in families
+    assert "service_latency_s" in families
+    select_count = sum(
+        value
+        for name, labels, value in families["service_requests_total"]["samples"]
+        if labels.get("route") == "/v1/select" and labels.get("status") == "200"
+    )
+    assert select_count >= 1
+
+
+def test_identical_served_results_are_cache_hits(client):
+    payload = {"workload": "rodinia/srad", "method": "random", "cap": 200}
+    first = client.post("/v1/predict", payload)[1]
+    second = client.post("/v1/predict", payload)[1]
+    assert second["telemetry"]["from_cache"] is True
+    assert pickle.dumps(first["result"]) == pickle.dumps(second["result"])
+    assert first["pickle_sha256"] == second["pickle_sha256"]

@@ -65,3 +65,43 @@ def test_compare_unknown_method_fails_cleanly(capsys):
     ) == 2
     err = capsys.readouterr().err
     assert "unknown sampling method 'bogus'" in err
+
+
+def test_parser_knows_service_commands():
+    parser = build_parser()
+    serve = parser.parse_args(["serve", "--port", "0"])
+    assert callable(serve.handler) and serve.port == 0
+    loadgen = parser.parse_args(
+        ["loadgen", "--spawn", "--pattern", "static:10", "--requests", "4"]
+    )
+    assert callable(loadgen.handler) and loadgen.spawn
+
+
+def test_loadgen_dry_run_records_deterministic_trace(capsys, tmp_path):
+    trace_a = tmp_path / "a.jsonl"
+    trace_b = tmp_path / "b.jsonl"
+    argv = [
+        "--cap", "200", "loadgen", "--dry-run", "--pattern", "poisson:50",
+        "--requests", "10", "--seed", "9",
+        "--workloads", "rodinia/nw,rodinia/lud", "--methods", "periodic",
+    ]
+    assert main(argv + ["--record", str(trace_a)]) == 0
+    assert main(argv + ["--record", str(trace_b)]) == 0
+    assert "generated 10 requests" in capsys.readouterr().out
+    assert trace_a.read_bytes() == trace_b.read_bytes()
+
+
+def test_loadgen_requires_port_without_spawn(capsys):
+    assert main(["loadgen", "--requests", "2"]) == 2
+    assert "--port is required" in capsys.readouterr().err
+
+
+def test_loadgen_spawn_round_trip(capsys):
+    assert main(
+        ["--cap", "150", "loadgen", "--spawn", "--pattern", "static:100",
+         "--requests", "6", "--clients", "3",
+         "--workloads", "rodinia/nw", "--methods", "periodic,random"]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "http_5xx: 0" in out
+    assert "requests: 6" in out
