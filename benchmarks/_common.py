@@ -26,6 +26,7 @@ environment:
 
 from __future__ import annotations
 
+import atexit
 import os
 import tempfile
 import time
@@ -50,7 +51,11 @@ _engine: EvaluationEngine | None = None
 
 
 def shared_engine() -> EvaluationEngine:
-    """The evaluation engine every comparison bench routes through."""
+    """The evaluation engine every comparison bench routes through.
+
+    Closed via ``atexit`` (idempotent) so shared-memory segments a bench
+    publishes never outlive the pytest process.
+    """
     global _engine
     if _engine is None:
         configured = os.environ.get("SIEVE_BENCH_CACHE_DIR")
@@ -62,6 +67,7 @@ def shared_engine() -> EvaluationEngine:
         _engine = EvaluationEngine(
             EngineConfig(jobs=JOBS, use_cache=not NO_CACHE, cache_dir=cache_dir)
         )
+        atexit.register(_engine.close)
     return _engine
 
 

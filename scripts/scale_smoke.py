@@ -1,0 +1,348 @@
+"""Scale smoke: cap=100k vectorization gate + shared-memory round trip.
+
+Builds one large synthetic workload (default: 2048 kernels x 100 000
+invocations, tier-1/2 heavy so per-kernel bookkeeping rather than the
+KDE inner loop dominates), then:
+
+* times the vectorized stratify -> golden-align -> predict path against
+  the retained scalar references in :mod:`repro.core.reference` (best of
+  ``--repeats`` runs each) and **fails** unless the vectorized path is at
+  least ``--min-speedup`` x faster (default 5x, the PR's acceptance
+  criterion);
+* cross-checks the two implementations produce identical strata, golden
+  cycle alignments and predictions on that table, so the speedup number
+  can never drift away from the correctness it advertises;
+* pushes the same table through the evaluation engine's shared-memory
+  plane (publish -> ``table_ref`` task -> evaluate) and verifies the
+  result matches the in-process evaluation plus the expected
+  ``engine.shm.*`` counters;
+* when ``SIEVE_BENCH_MANIFEST_DIR`` is set, writes ``BENCH_scale.json``
+  (per-stage wall times + deterministic aggregates) for the CI
+  ``scale-bench`` job to diff against ``benchmarks/baselines/`` via
+  ``scripts/check_bench_regression.py --figures scale``.
+
+Timing-derived numbers (the speedups) are reported in the manifest's
+``config`` block, which the regression differ ignores; the gated
+surfaces are the *stage wall times* (vectorized stages regressing >25%
+fail CI) and the deterministic aggregates (strata/representative counts,
+prediction error, shm counters).
+
+Usage::
+
+    PYTHONPATH=src python scripts/scale_smoke.py
+    PYTHONPATH=src python scripts/scale_smoke.py --kernels 4096 --repeats 5
+    SIEVE_BENCH_MANIFEST_DIR=/tmp/m PYTHONPATH=src python scripts/scale_smoke.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.config import SieveConfig
+from repro.core.reference import (
+    cycles_in_table_order_scalar,
+    sieve_predict_scalar,
+    stratify_table_scalar,
+)
+from repro.core.pipeline import SievePipeline
+from repro.core.stratify import stratify_table
+from repro.evaluation.context import build_context
+from repro.evaluation.engine import EngineConfig, EvaluationEngine, EvaluationTask
+from repro.evaluation.imputation import cycles_in_table_order
+from repro.observability import manifest as obs_manifest
+from repro.observability import metrics, span
+from repro.observability import spans as obs_spans
+from repro.workloads.spec import WorkloadSpec
+
+DEFAULT_KERNELS = 2048
+DEFAULT_CAP = 100_000
+DEFAULT_REPEATS = 3
+DEFAULT_MIN_SPEEDUP = 5.0
+
+#: The timed path, in pipeline order. Stage spans are named
+#: ``scale.<stage>.<impl>`` so the regression gate can watch each one.
+PATH_STAGES = ("stratify", "align", "predict")
+
+
+def scale_spec(kernels: int = DEFAULT_KERNELS, cap: int = DEFAULT_CAP) -> WorkloadSpec:
+    """The synthetic scale fixture: many kernels, no tier-3 mass.
+
+    Tier fractions (0.5, 0.5, 0.0) keep the KDE inner loop (identical in
+    both implementations, and the dominant cost on mixed workloads) out
+    of the measurement, so the timed difference is exactly the per-kernel
+    Python bookkeeping the vectorization pass replaced.
+    """
+    return WorkloadSpec(
+        name=f"scale-{kernels}x{cap}",
+        suite="synthetic",
+        num_kernels=kernels,
+        num_invocations=cap,
+        tier_fractions=(0.5, 0.5, 0.0),
+    )
+
+
+@dataclass
+class ScaleReport:
+    """Everything one scale run measured, for printing and the manifest."""
+
+    kernels: int
+    cap: int
+    repeats: int
+    rows: int
+    #: best-of-``repeats`` wall seconds per stage per implementation.
+    vectorized: dict[str, float] = field(default_factory=dict)
+    scalar: dict[str, float] = field(default_factory=dict)
+    num_strata: int = 0
+    num_representatives: int = 0
+    predicted_cycles: float = 0.0
+    sieve_error: float = 0.0
+    shm_counters: dict[str, int] = field(default_factory=dict)
+
+    def speedup(self, stage: str) -> float:
+        return self.scalar[stage] / max(self.vectorized[stage], 1e-12)
+
+    @property
+    def path_speedup(self) -> float:
+        total_scalar = sum(self.scalar[s] for s in PATH_STAGES)
+        total_vec = sum(self.vectorized[s] for s in PATH_STAGES)
+        return total_scalar / max(total_vec, 1e-12)
+
+
+def _best_of(repeats: int, stage: str, impl: str, fn) -> tuple[float, object]:
+    """Best wall time over ``repeats`` runs; keeps the last return value.
+
+    Each run gets its own span so the manifest's stage table shows the
+    summed wall time, while the report (and the printed speedups) use the
+    minimum — the standard way to strip scheduler noise from a ratio.
+    """
+    best = float("inf")
+    result = None
+    for _ in range(max(1, repeats)):
+        with span(f"scale.{stage}.{impl}"):
+            start = time.perf_counter()
+            result = fn()
+            best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def _check_strata_equal(vec, ref) -> None:
+    assert len(vec) == len(ref), f"strata count {len(vec)} != {len(ref)}"
+    for a, b in zip(vec, ref):
+        assert a.kernel_id == b.kernel_id and a.tier == b.tier
+        assert np.array_equal(np.asarray(a.rows), np.asarray(b.rows))
+        assert a.insn_total == b.insn_total
+        assert np.isclose(a.insn_cov, b.insn_cov, rtol=1e-9, atol=1e-12)
+
+
+def run_scale(
+    kernels: int = DEFAULT_KERNELS,
+    cap: int = DEFAULT_CAP,
+    repeats: int = DEFAULT_REPEATS,
+) -> ScaleReport:
+    """Build the fixture, time both implementations, verify equivalence."""
+    spec = scale_spec(kernels, cap)
+    config = SieveConfig()
+    with span("scale.build", workload=spec.label):
+        context = build_context(spec.label, spec=spec)
+    table = context.sieve_table
+    golden = context.golden
+    report = ScaleReport(
+        kernels=kernels, cap=cap, repeats=repeats, rows=len(table)
+    )
+
+    # --- stratify ----------------------------------------------------
+    t_vec, strata = _best_of(
+        repeats, "stratify", "vectorized", lambda: stratify_table(table, config)
+    )
+    t_ref, strata_ref = _best_of(
+        repeats, "stratify", "scalar", lambda: stratify_table_scalar(table, config)
+    )
+    report.vectorized["stratify"], report.scalar["stratify"] = t_vec, t_ref
+    _check_strata_equal(strata, strata_ref)
+    report.num_strata = len(strata)
+
+    # --- golden-cycle alignment --------------------------------------
+    t_vec, cycles = _best_of(
+        repeats, "align", "vectorized", lambda: cycles_in_table_order(table, golden)
+    )
+    t_ref, cycles_ref = _best_of(
+        repeats, "align", "scalar",
+        lambda: cycles_in_table_order_scalar(table, golden),
+    )
+    report.vectorized["align"], report.scalar["align"] = t_vec, t_ref
+    assert np.array_equal(cycles, cycles_ref), "golden alignment diverged"
+
+    # --- predict -----------------------------------------------------
+    pipe = SievePipeline(config)
+    with span("scale.select", workload=spec.label):
+        selection = pipe.select(table)
+    report.num_representatives = len(selection.representatives)
+    t_vec, prediction = _best_of(
+        repeats, "predict", "vectorized", lambda: pipe.predict(selection, golden)
+    )
+    t_ref, prediction_ref = _best_of(
+        repeats, "predict", "scalar",
+        lambda: sieve_predict_scalar(selection, golden),
+    )
+    report.vectorized["predict"], report.scalar["predict"] = t_vec, t_ref
+    assert np.isclose(
+        prediction.predicted_cycles, prediction_ref.predicted_cycles, rtol=1e-12
+    ), "prediction diverged"
+    report.predicted_cycles = float(prediction.predicted_cycles)
+    return report
+
+
+def run_shm_round_trip(report: ScaleReport, jobs: int = 1) -> None:
+    """Evaluate the scale table through the shared-memory engine path."""
+    spec = scale_spec(report.kernels, report.cap)
+    context = build_context(spec.label, spec=spec)
+    registry = metrics.get_registry()
+    before = dict(registry.counters)
+    with span("scale.shm", workload=spec.label):
+        with EvaluationEngine(EngineConfig(jobs=jobs, use_cache=False)) as engine:
+            ref = engine.publish_table(context.pks_table, context.golden)
+            dup = engine.publish_table(context.pks_table, context.golden)
+            assert dup.segment == ref.segment, "identical bundle must dedup"
+            task = EvaluationTask(
+                label=spec.label, methods=("sieve",), table_ref=ref
+            )
+            [result] = engine.run([task])
+            shm_result = result.results["sieve"]
+        assert engine.closed
+    delta = {
+        key.split(".")[-1].split("{")[0]: int(
+            registry.counters.get(key, 0) - before.get(key, 0)
+        )
+        for key in (
+            "engine.shm.published",
+            "engine.shm.publish_dedup",
+            "engine.shm.attach",
+            "engine.shm.attach_miss",
+            "engine.shm.unlinked",
+        )
+    }
+    assert delta["published"] == 1 and delta["publish_dedup"] == 1
+    assert delta["attach"] >= 1 and delta["attach_miss"] == 0
+    assert delta["unlinked"] == 1, "engine close must unlink the segment"
+    report.shm_counters = delta
+    report.sieve_error = float(shm_result.error)
+    # The shared-memory view must reproduce the in-process numbers bit
+    # for bit: same table bytes in, same prediction out.
+    direct = SievePipeline().select(context.sieve_table)
+    direct_prediction = SievePipeline().predict(direct, context.golden)
+    assert np.isclose(
+        shm_result.predicted_cycles, direct_prediction.predicted_cycles, rtol=1e-12
+    ), "shared-memory evaluation diverged from direct evaluation"
+
+
+def write_manifest(report: ScaleReport, mark: tuple[int, int, float, float]):
+    """Write ``BENCH_scale.json`` when ``SIEVE_BENCH_MANIFEST_DIR`` is set."""
+    directory = os.environ.get("SIEVE_BENCH_MANIFEST_DIR")
+    if not directory:
+        return None
+    since, events_since, wall_start, cpu_start = mark
+    manifest = obs_manifest.collect_manifest(
+        "bench scale",
+        config={
+            "kernels": report.kernels,
+            "cap": report.cap,
+            "repeats": report.repeats,
+            # Informational only: the differ ignores ``config``; the
+            # >=5x criterion is enforced by this script's own assertion.
+            "path_speedup": round(report.path_speedup, 2),
+            **{
+                f"{stage}_speedup": round(report.speedup(stage), 2)
+                for stage in PATH_STAGES
+            },
+        },
+        workloads=[
+            {
+                "workload": scale_spec(report.kernels, report.cap).label,
+                "sieve_error": report.sieve_error,
+            }
+        ],
+        aggregates={
+            "rows": report.rows,
+            "num_strata": report.num_strata,
+            "num_representatives": report.num_representatives,
+            "shm_published": report.shm_counters.get("published", 0),
+            "shm_attach": report.shm_counters.get("attach", 0),
+            "shm_attach_miss": report.shm_counters.get("attach_miss", 0),
+            "shm_unlinked": report.shm_counters.get("unlinked", 0),
+        },
+        since=since,
+        events_since=events_since,
+        total_wall_s=time.perf_counter() - wall_start,
+        total_cpu_s=time.process_time() - cpu_start,
+    )
+    path = manifest.save(Path(directory) / "BENCH_scale.json")
+    window = obs_spans.records()[since:]
+    if window:
+        from repro.observability.export import write_chrome_trace
+
+        write_chrome_trace(Path(directory) / "TRACE_scale.json", window)
+    return path
+
+
+def print_report(report: ScaleReport) -> None:
+    print(f"scale smoke: {report.kernels} kernels x {report.cap} invocations "
+          f"({report.rows} profiled rows), best of {report.repeats}")
+    header = f"{'stage':<10} {'scalar':>10} {'vectorized':>12} {'speedup':>9}"
+    print(header)
+    print("-" * len(header))
+    for stage in PATH_STAGES:
+        print(f"{stage:<10} {report.scalar[stage]:>9.4f}s "
+              f"{report.vectorized[stage]:>11.4f}s {report.speedup(stage):>8.2f}x")
+    total_scalar = sum(report.scalar[s] for s in PATH_STAGES)
+    total_vec = sum(report.vectorized[s] for s in PATH_STAGES)
+    print(f"{'path':<10} {total_scalar:>9.4f}s {total_vec:>11.4f}s "
+          f"{report.path_speedup:>8.2f}x")
+    print(f"strata={report.num_strata} representatives={report.num_representatives} "
+          f"sieve_error={report.sieve_error:.4%}")
+    if report.shm_counters:
+        print("shm counters: " + ", ".join(
+            f"{k}={v}" for k, v in sorted(report.shm_counters.items())))
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--kernels", type=int, default=DEFAULT_KERNELS)
+    parser.add_argument("--cap", type=int, default=DEFAULT_CAP)
+    parser.add_argument("--repeats", type=int, default=DEFAULT_REPEATS,
+                        help="timing repeats per stage (best-of)")
+    parser.add_argument("--min-speedup", type=float, default=DEFAULT_MIN_SPEEDUP,
+                        help="fail below this vectorized-path speedup")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="engine workers for the shm round trip")
+    parser.add_argument("--skip-shm", action="store_true",
+                        help="skip the shared-memory engine round trip")
+    args = parser.parse_args(argv)
+
+    mark = (obs_spans.mark(), obs_manifest.events_mark(),
+            time.perf_counter(), time.process_time())
+    report = run_scale(args.kernels, args.cap, args.repeats)
+    if not args.skip_shm:
+        run_shm_round_trip(report, jobs=args.jobs)
+    print_report(report)
+    path = write_manifest(report, mark)
+    if path:
+        print(f"manifest: {path}")
+
+    if report.path_speedup < args.min_speedup:
+        print(f"FAIL: path speedup {report.path_speedup:.2f}x is below the "
+              f"required {args.min_speedup:.1f}x", file=sys.stderr)
+        return 1
+    print(f"OK: path speedup {report.path_speedup:.2f}x "
+          f">= {args.min_speedup:.1f}x")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

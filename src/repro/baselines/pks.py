@@ -42,6 +42,7 @@ from repro.observability import span
 from repro.profiling.table import ProfileTable
 from repro.utils.errors import PredictionError, SelectionError
 from repro.utils.seeding import rng_for
+from repro.utils.segments import Segments
 from repro.utils.validation import require
 
 PKS_SELECTION_POLICIES = ("first", "random", "centroid")
@@ -100,14 +101,33 @@ class PksPipeline:
         labels: np.ndarray,
         centroids: np.ndarray,
     ) -> tuple[list[int], list[np.ndarray]]:
-        """Pick one row per non-empty cluster under the configured policy."""
+        """Pick one row per non-empty cluster under the configured policy.
+
+        Cluster membership comes from one stable argsort of the label
+        column (:class:`~repro.utils.segments.Segments`) instead of one
+        ``flatnonzero`` scan per cluster per candidate k, and the
+        ``centroid`` policy resolves every cluster's first distance
+        minimum with segment reductions. Scalar original:
+        :func:`repro.core.reference.pks_representative_rows_scalar`.
+        """
         rows: list[int] = []
         members: list[np.ndarray] = []
         policy = self.config.selection_policy
-        for cluster in range(len(centroids)):
-            cluster_rows = np.flatnonzero(labels == cluster)
-            if len(cluster_rows) == 0:
-                continue
+        segments = Segments.group_by(labels)
+        picks: np.ndarray | None = None
+        if policy == "centroid":
+            # Squared distance of every row to its own centroid, then the
+            # first-chronological minimum per cluster. Row-wise arithmetic
+            # is identical to the per-cluster submatrix version, so ties
+            # still break toward the smallest row index.
+            deltas = projected - centroids[labels]
+            distances = segments.gather(np.einsum("ij,ij->i", deltas, deltas))
+            minima = segments.reduce(distances, np.minimum)
+            is_min = distances == np.repeat(minima, segments.counts)
+            picks = segments.order[segments.first_positions(is_min)]
+        for gi in range(len(segments)):
+            cluster = int(segments.keys[gi])
+            cluster_rows = segments.rows(gi)
             if policy == "first":
                 # Table rows are chronological, so the smallest row index is
                 # the first-chronological invocation of the cluster.
@@ -116,8 +136,8 @@ class PksPipeline:
                 rng = rng_for("pks-select", table.workload, cluster, len(centroids))
                 row = int(cluster_rows[rng.integers(len(cluster_rows))])
             else:  # centroid
-                deltas = projected[cluster_rows] - centroids[cluster]
-                row = int(cluster_rows[np.argmin(np.einsum("ij,ij->i", deltas, deltas))])
+                assert picks is not None
+                row = int(picks[gi])
             rows.append(row)
             members.append(cluster_rows)
         return rows, members

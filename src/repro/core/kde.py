@@ -18,6 +18,7 @@ import numpy as np
 
 from repro.observability import metrics, span
 from repro.utils.errors import SelectionError
+from repro.utils.segments import Segments
 from repro.utils.stats import coefficient_of_variation
 from repro.utils.validation import require
 
@@ -83,11 +84,19 @@ class GaussianKDE1D:
 def _split_by_boundaries(
     values: np.ndarray, boundaries: np.ndarray
 ) -> list[np.ndarray]:
-    """Partition indices of ``values`` by the boundary points."""
+    """Partition indices of ``values`` by the boundary points.
+
+    One stable argsort of the bin labels instead of one ``flatnonzero``
+    scan per occupied bin (the scalar original survives as
+    :func:`repro.core.reference.split_by_boundaries_scalar`); groups come
+    back in ascending bin order with ascending indices inside each group,
+    exactly like the per-bin scans produced.
+    """
     if len(boundaries) == 0:
         return [np.arange(len(values))]
     bins = np.digitize(values, boundaries)
-    return [np.flatnonzero(bins == b) for b in np.unique(bins)]
+    segments = Segments.group_by(bins)
+    return [segments.rows(i) for i in range(len(segments))]
 
 
 def _median_split(values: np.ndarray, indices: np.ndarray) -> list[np.ndarray]:

@@ -105,28 +105,47 @@ def cycles_in_table_order(
     cycles for k selection and dispersion statistics.
     """
     cycles = np.full(len(table), np.nan, dtype=np.float64)
+    # One gather through the concatenated per-kernel cycle arrays replaces
+    # the historical per-kernel row scans (O(rows x kernels)): row r of
+    # kernel k reads ``concatenated[offset[k] + invocation_id[r]]``. The
+    # scalar original survives as
+    # :func:`repro.core.reference.cycles_in_table_order_scalar`.
+    num_kernels = len(table.kernel_names)
+    offsets = np.full(num_kernels, -1, dtype=np.int64)
+    sizes = np.zeros(num_kernels, dtype=np.int64)
+    parts: list[np.ndarray] = []
+    position = 0
     for kernel_id, kernel_name in enumerate(table.kernel_names):
-        rows = table.rows_for_kernel(kernel_id)
-        if len(rows) == 0:
-            continue
         per_kernel = measurement.per_kernel.get(kernel_name)
         if per_kernel is None:
             continue
-        ids = table.invocation_id[rows]
-        valid = (ids >= 0) & (ids < len(per_kernel.cycles))
-        values = np.full(len(rows), np.nan)
-        values[valid] = per_kernel.cycles[ids[valid]].astype(np.float64)
+        offsets[kernel_id] = position
+        sizes[kernel_id] = len(per_kernel.cycles)
+        position += len(per_kernel.cycles)
+        parts.append(per_kernel.cycles)
+    if parts:
+        concatenated = np.concatenate(parts)
+        kernel_id_column = np.asarray(table.kernel_id, dtype=np.int64)
+        ids = np.asarray(table.invocation_id, dtype=np.int64)
+        valid = (
+            (offsets[kernel_id_column] >= 0)
+            & (ids >= 0)
+            & (ids < sizes[kernel_id_column])
+        )
+        values = concatenated[offsets[kernel_id_column[valid]] + ids[valid]].astype(
+            np.float64
+        )
         values[values <= 0] = np.nan
-        cycles[rows] = values
+        cycles[valid] = values
 
     bad = ~np.isfinite(cycles)
     if bad.any():
-        for kernel_id, kernel_name in enumerate(table.kernel_names):
-            rows = table.rows_for_kernel(kernel_id)
-            kernel_bad = rows[bad[rows]] if len(rows) else rows
-            if len(kernel_bad) == 0:
-                continue
-            fallback = kernel_mean_cycles(kernel_name, measurement)
+        kernel_id_column = np.asarray(table.kernel_id, dtype=np.int64)
+        for kernel_id in np.unique(kernel_id_column[bad]):
+            kernel_bad = np.flatnonzero(bad & (kernel_id_column == kernel_id))
+            fallback = kernel_mean_cycles(
+                table.kernel_names[kernel_id], measurement
+            )
             if fallback is not None:
                 cycles[kernel_bad] = fallback
         still_bad = ~np.isfinite(cycles)

@@ -1,0 +1,438 @@
+"""Shared-memory publication of profile tables for cross-process tasks.
+
+Tasks built from catalog labels ship *no* bulk data — workers rebuild
+their context from seeds. Tasks built around a materialized
+:class:`~repro.profiling.table.ProfileTable` (service-submitted tables,
+fuzz candidates kept alive across campaigns, the scale bench) used to
+have exactly two options: pickle every column into each task, or rebuild
+the table per worker. This module adds the third: the engine publishes
+the table (plus its golden measurement) into one
+:class:`multiprocessing.shared_memory.SharedMemory` segment, and tasks
+carry only a :class:`SharedTableRef` — segment name, array layout and a
+content digest. Workers attach the segment read-only and reconstruct the
+table and measurement as zero-copy views.
+
+Lifecycle contract:
+
+* the **owner** (the engine's :class:`SharedTablePlane`) creates
+  segments, refcounts duplicate publications by digest, and unlinks
+  everything on ``close()`` — idempotently, and also from an ``atexit``
+  hook so a crashed run cannot strand segments;
+* **workers** attach by name inside :func:`attached_context` and always
+  close their mapping, without ever unlinking. On Python <= 3.12 the
+  attach explicitly unregisters from ``resource_tracker`` (attaching
+  registers there too, and a worker exit would otherwise unlink the
+  owner's segment — the well-known ``SharedMemory`` footgun that Python
+  3.13 fixed with ``track=False``);
+* a worker that dies mid-attach leaks nothing: the mapping dies with the
+  process and the segment stays owned by the engine.
+
+Attach hits and misses are counted in the observability metrics registry
+(``engine.shm.attach`` / ``engine.shm.attach_miss``), so a fleet losing
+segments (e.g. an engine closed while tasks were still queued) is
+visible in the merged telemetry.
+"""
+
+from __future__ import annotations
+
+import atexit
+import contextlib
+import hashlib
+from dataclasses import dataclass
+from multiprocessing import resource_tracker, shared_memory
+from typing import Iterator
+
+import numpy as np
+
+from repro.gpu.hardware import KernelMeasurement, WorkloadMeasurement
+from repro.observability import metrics
+from repro.profiling.cost import ProfilingCost
+from repro.profiling.table import ProfileTable
+from repro.robustness import diagnostics
+from repro.utils.errors import EngineError
+from repro.utils.validation import require
+
+__all__ = [
+    "SharedRunStub",
+    "SharedTablePlane",
+    "SharedTableRef",
+    "attached_context",
+]
+
+
+def _attach_segment(name: str) -> shared_memory.SharedMemory:
+    """Attach to an existing segment without adopting its lifetime.
+
+    Python <= 3.12 registers *every* ``SharedMemory`` (attach included)
+    with the resource tracker, whose bookkeeping is a plain set — so
+    unregistering after an attach would also erase the owner's creation
+    entry and desynchronize the tracker. Suppressing registration for
+    the duration of the attach is the only sequence that leaves exactly
+    the owner's entry in place; 3.13+ has ``track=False`` for this.
+    """
+    try:
+        return shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:  # Python <= 3.12: no track parameter
+        original = resource_tracker.register
+        resource_tracker.register = lambda *args, **kwargs: None
+        try:
+            return shared_memory.SharedMemory(name=name)
+        finally:
+            resource_tracker.register = original
+
+
+@dataclass(frozen=True)
+class SharedTableRef:
+    """Picklable handle to a published (table, golden) bundle.
+
+    ``arrays`` maps field name to ``(dtype, shape, byte offset)`` within
+    the segment; ``digest`` is a content hash of every array plus the
+    naming metadata, suitable as cache-key material (two publications of
+    identical data share a digest even across segments).
+    """
+
+    segment: str
+    workload: str
+    architecture: str
+    clock_ghz: float
+    kernel_names: tuple[str, ...]
+    metric_names: tuple[str, ...] | None
+    arrays: tuple[tuple[str, str, tuple[int, ...], int], ...]
+    digest: str
+    total_bytes: int
+
+
+#: Table columns packed into every bundle, in layout order.
+_TABLE_FIELDS = ("kernel_id", "invocation_id", "insn_count", "cta_size", "num_ctas")
+
+
+def _bundle_arrays(
+    table: ProfileTable, golden: WorkloadMeasurement
+) -> list[tuple[str, np.ndarray]]:
+    """The named arrays a bundle carries, in deterministic layout order."""
+    named: list[tuple[str, np.ndarray]] = [
+        (field, np.ascontiguousarray(getattr(table, field)))
+        for field in _TABLE_FIELDS
+    ]
+    if table.metrics is not None:
+        named.append(("metrics", np.ascontiguousarray(table.metrics)))
+    sizes = []
+    insn_parts = []
+    cycle_parts = []
+    for name in table.kernel_names:
+        kernel = golden.per_kernel.get(name)
+        if kernel is None:
+            sizes.append(0)
+            continue
+        sizes.append(len(kernel.cycles))
+        insn_parts.append(kernel.insn_count)
+        cycle_parts.append(kernel.cycles)
+    empty = np.empty(0, dtype=np.int64)
+    named.append(("golden_sizes", np.asarray(sizes, dtype=np.int64)))
+    named.append(
+        ("golden_insn", np.ascontiguousarray(np.concatenate(insn_parts)) if insn_parts else empty)
+    )
+    named.append(
+        ("golden_cycles", np.ascontiguousarray(np.concatenate(cycle_parts)) if cycle_parts else empty)
+    )
+    return named
+
+
+def _digest(
+    table: ProfileTable, golden: WorkloadMeasurement, named: list[tuple[str, np.ndarray]]
+) -> str:
+    hasher = hashlib.blake2b(digest_size=20)
+    for part in (
+        "shared-table",
+        table.workload,
+        golden.architecture,
+        repr(golden.clock_ghz),
+        "\x00".join(table.kernel_names),
+        "\x00".join(table.metric_names) if table.metrics is not None else "",
+    ):
+        hasher.update(part.encode())
+        hasher.update(b"\x1f")
+    for field, array in named:
+        hasher.update(field.encode())
+        hasher.update(str(array.dtype).encode())
+        hasher.update(repr(array.shape).encode())
+        hasher.update(array.tobytes())
+    return hasher.hexdigest()
+
+
+class SharedTablePlane:
+    """Owner-side registry of published shared-memory table bundles.
+
+    Publications are deduplicated by content digest and refcounted:
+    publishing the same (table, golden) twice returns the same ref and
+    bumps its count, :meth:`release` decrements and unlinks at zero, and
+    :meth:`close` unlinks everything that is left regardless of count.
+    """
+
+    def __init__(self) -> None:
+        self._segments: dict[str, shared_memory.SharedMemory] = {}
+        self._refs: dict[str, SharedTableRef] = {}  # digest -> ref
+        self._refcounts: dict[str, int] = {}
+
+    def __len__(self) -> int:
+        return len(self._segments)
+
+    def publish(
+        self, table: ProfileTable, golden: WorkloadMeasurement
+    ) -> SharedTableRef:
+        """Copy the bundle into a fresh segment (or reuse a live twin)."""
+        named = _bundle_arrays(table, golden)
+        digest = _digest(table, golden, named)
+        existing = self._refs.get(digest)
+        if existing is not None:
+            self._refcounts[digest] += 1
+            metrics.inc("engine.shm.publish_dedup")
+            return existing
+        layout: list[tuple[str, str, tuple[int, ...], int]] = []
+        offset = 0
+        for field, array in named:
+            layout.append((field, str(array.dtype), tuple(array.shape), offset))
+            offset += array.nbytes
+        segment = shared_memory.SharedMemory(create=True, size=max(offset, 1))
+        for (field, dtype, shape, start), (_, array) in zip(layout, named):
+            view = np.ndarray(shape, dtype=dtype, buffer=segment.buf, offset=start)
+            view[...] = array
+        ref = SharedTableRef(
+            segment=segment.name,
+            workload=table.workload,
+            architecture=golden.architecture,
+            clock_ghz=golden.clock_ghz,
+            kernel_names=tuple(table.kernel_names),
+            metric_names=tuple(table.metric_names) if table.metrics is not None else None,
+            arrays=tuple(layout),
+            digest=digest,
+            total_bytes=offset,
+        )
+        self._segments[digest] = segment
+        self._refs[digest] = ref
+        self._refcounts[digest] = 1
+        metrics.inc("engine.shm.published")
+        metrics.observe("engine.shm.segment_bytes", offset)
+        return ref
+
+    def release(self, ref: SharedTableRef) -> bool:
+        """Drop one reference; unlink the segment when none remain."""
+        if ref.digest not in self._segments:
+            return False
+        self._refcounts[ref.digest] -= 1
+        if self._refcounts[ref.digest] > 0:
+            return False
+        self._unlink(ref.digest)
+        return True
+
+    def _unlink(self, digest: str) -> None:
+        segment = self._segments.pop(digest)
+        self._refs.pop(digest)
+        self._refcounts.pop(digest)
+        with contextlib.suppress(Exception):
+            segment.close()
+        try:
+            segment.unlink()
+        except FileNotFoundError:
+            pass
+        except OSError as exc:
+            diagnostics.emit(
+                "engine.shm", f"unlink of segment {segment.name} failed: {exc}"
+            )
+        metrics.inc("engine.shm.unlinked")
+
+    def close(self) -> int:
+        """Unlink every live segment; idempotent. Returns segments freed."""
+        freed = 0
+        for digest in list(self._segments):
+            self._unlink(digest)
+            freed += 1
+        return freed
+
+
+# --------------------------------------------------------------------- #
+# Worker side
+
+
+@dataclass(frozen=True)
+class SharedRunStub:
+    """Stands in for a :class:`~repro.workloads.generator.WorkloadRun`.
+
+    Shared-table contexts have no generated run — only the profile and
+    the golden measurement crossed the process boundary. The stub carries
+    the identity and totals experiments read; anything needing generated
+    kernels (e.g. re-profiling methods like ``pks-two-level``) raises a
+    typed :class:`~repro.utils.errors.EngineError` instead of crashing on
+    an attribute miss.
+    """
+
+    name: str
+    suite: str
+    num_invocations: int
+    total_instructions: int
+    spec: None = None
+
+    @property
+    def label(self) -> str:
+        return f"{self.suite}/{self.name}" if self.suite else self.name
+
+    @property
+    def kernels(self) -> tuple:
+        raise EngineError(
+            "shared-table contexts carry no generated run; methods that "
+            "re-profile the workload cannot run on them"
+        )
+
+    def kernel_by_name(self, name: str):
+        raise EngineError(
+            "shared-table contexts carry no generated run; methods that "
+            "re-profile the workload cannot run on them"
+        )
+
+
+def _reconstruct(
+    ref: SharedTableRef, segment: shared_memory.SharedMemory
+) -> tuple[ProfileTable, WorkloadMeasurement]:
+    arrays: dict[str, np.ndarray] = {}
+    for field, dtype, shape, offset in ref.arrays:
+        arrays[field] = np.ndarray(
+            shape, dtype=dtype, buffer=segment.buf, offset=offset
+        )
+    table = ProfileTable(
+        workload=ref.workload,
+        kernel_names=ref.kernel_names,
+        kernel_id=arrays["kernel_id"],
+        invocation_id=arrays["invocation_id"],
+        insn_count=arrays["insn_count"],
+        cta_size=arrays["cta_size"],
+        num_ctas=arrays["num_ctas"],
+        metrics=arrays.get("metrics"),
+        **(
+            {"metric_names": ref.metric_names}
+            if ref.metric_names is not None
+            else {}
+        ),
+    )
+    per_kernel: dict[str, KernelMeasurement] = {}
+    position = 0
+    for name, size in zip(ref.kernel_names, arrays["golden_sizes"]):
+        size = int(size)
+        if size == 0:
+            continue
+        per_kernel[name] = KernelMeasurement(
+            kernel_name=name,
+            cycles=arrays["golden_cycles"][position : position + size],
+            insn_count=arrays["golden_insn"][position : position + size],
+        )
+        position += size
+    golden = WorkloadMeasurement(
+        workload_name=ref.workload,
+        architecture=ref.architecture,
+        clock_ghz=ref.clock_ghz,
+        per_kernel=per_kernel,
+    )
+    return table, golden
+
+
+def _zero_cost(tool: str, ref: SharedTableRef, rows: int) -> ProfilingCost:
+    """Profiling already happened wherever the table came from."""
+    return ProfilingCost(
+        tool=tool,
+        workload=ref.workload,
+        num_invocations=rows,
+        replay_passes=0,
+        replay_seconds=0.0,
+        save_restore_seconds=0.0,
+        bookkeeping_seconds=0.0,
+    )
+
+
+@contextlib.contextmanager
+def attached_context(
+    ref: SharedTableRef, fault_plan=None
+) -> Iterator["WorkloadContext"]:
+    """Attach a published bundle and yield it as a `WorkloadContext`.
+
+    The mapping is closed (never unlinked) on exit; callers must not let
+    views of the table or measurement escape the ``with`` block — every
+    result a method returns holds its own arrays, which the lifecycle
+    property tests pin. A vanished segment (owner closed or crashed)
+    raises a typed :class:`~repro.utils.errors.EngineError` after
+    counting an ``engine.shm.attach_miss``.
+
+    ``fault_plan`` injects the same table/measurement corruption
+    :func:`~repro.evaluation.context.build_context` applies — on *copies*
+    (the injectors never mutate their input), so the shared segment stays
+    pristine for concurrent attachers.
+    """
+    from repro.evaluation.context import WorkloadContext
+    from repro.robustness.faults import (
+        inject_measurement_faults,
+        inject_table_faults,
+    )
+
+    try:
+        segment = _attach_segment(ref.segment)
+    except FileNotFoundError as exc:
+        metrics.inc("engine.shm.attach_miss")
+        raise EngineError(
+            f"shared table segment {ref.segment!r} for {ref.workload!r} "
+            "has vanished (engine closed or publisher crashed)"
+        ) from exc
+    metrics.inc("engine.shm.attach")
+    try:
+        table, golden = _reconstruct(ref, segment)
+        require(
+            len(table) > 0, "shared table bundle holds no rows", EngineError
+        )
+        suite, _, name = ref.workload.rpartition("/")
+        run = SharedRunStub(
+            name=name or ref.workload,
+            suite=suite,
+            num_invocations=len(table),
+            total_instructions=table.total_instructions,
+        )
+        sieve_table = table.without_metrics()
+        pks_table = table if table.metrics is not None else sieve_table
+        clean_golden = None
+        if fault_plan is not None:
+            clean_golden = golden
+            sieve_table, _ = inject_table_faults(sieve_table, fault_plan)
+            pks_table, _ = inject_table_faults(pks_table, fault_plan)
+            golden, _ = inject_measurement_faults(golden, fault_plan)
+        yield WorkloadContext(
+            run=run,  # type: ignore[arg-type]  — duck-typed stub
+            golden=golden,
+            sieve_table=sieve_table,
+            pks_table=pks_table,
+            sieve_profiling=_zero_cost("nvbit", ref, len(table)),
+            pks_profiling=_zero_cost("nsight", ref, len(table)),
+            clean_golden=clean_golden,
+        )
+    finally:
+        with contextlib.suppress(Exception):
+            segment.close()
+
+
+# --------------------------------------------------------------------- #
+# Crash-safe owner cleanup
+
+_LIVE_PLANES: "set[SharedTablePlane]" = set()
+
+
+def _cleanup_at_exit() -> None:
+    for plane in list(_LIVE_PLANES):
+        with contextlib.suppress(Exception):
+            plane.close()
+
+
+atexit.register(_cleanup_at_exit)
+
+
+def register_plane(plane: SharedTablePlane) -> None:
+    """Track a plane for atexit cleanup (owners call this on creation)."""
+    _LIVE_PLANES.add(plane)
+
+
+def unregister_plane(plane: SharedTablePlane) -> None:
+    _LIVE_PLANES.discard(plane)

@@ -91,6 +91,7 @@ class SieveService:
         engine: EvaluationEngine | None = None,
     ):
         self.config = config or ServiceConfig()
+        self._owns_engine = engine is None
         self.engine = engine or EvaluationEngine(self.config.engine_config())
         self.dispatcher = BatchingDispatcher(
             self.engine,
@@ -138,6 +139,11 @@ class SieveService:
             if self._clients:
                 await asyncio.gather(*self._clients, return_exceptions=True)
             await self.dispatcher.close()
+            if self._owns_engine:
+                # Release shared-memory segments with the server; an
+                # injected engine stays open for its owner (close is
+                # idempotent either way).
+                self.engine.close()
 
     # -------------------------------------------------------- connection IO
 
