@@ -397,7 +397,13 @@ def _cmd_simulate(args) -> None:
     ))
 
 
-def _cmd_sample(args) -> None:
+def _cmd_sample(args) -> int:
+    if args.feed is not None:
+        return _sample_feed(args)
+    if args.workload is None:
+        print("sample: a workload label (or --from FEED) is required",
+              file=sys.stderr)
+        return 2
     if args.method:
         requests = _parse_methods(args.method, args.theta)
     else:
@@ -408,14 +414,92 @@ def _cmd_sample(args) -> None:
     print(f"golden cycles   : {context.golden.total_cycles:,}")
     attributions = []
     for request in requests:
-        result = evaluate_method(request.method, context, request.config)
+        if args.stream:
+            from repro.evaluation.runner import evaluate_method_streaming
+
+            result = evaluate_method_streaming(
+                request.method,
+                context,
+                request.config,
+                chunk_rows=args.chunk_rows,
+                reservoir_rows=args.reservoir,
+            )
+        else:
+            result = evaluate_method(request.method, context, request.config)
         if result.attribution is not None:
             attributions.append(result.attribution.to_dict())
         print(
             f"{result.method:12s}: {result.num_representatives:4d} reps, "
             f"error {percent(result.error)}, speedup {times(result.speedup)}"
         )
+    if args.stream:
+        _print_stream_gauges()
     _trace_artifacts["attribution"] = attributions
+    return 0
+
+
+def _print_stream_gauges() -> None:
+    from repro.observability import metrics as obs_metrics
+
+    gauges = obs_metrics.get_registry().gauges
+    high_water = gauges.get("streaming.high_water_rows")
+    if high_water is not None:
+        print(f"stream high-water: {int(high_water)} resident rows")
+
+
+def _sample_feed(args) -> int:
+    """Stream a CSV/JSONL profile feed (file or stdin) through a method."""
+    from repro.profiling.csv_io import ProfileTableReader
+    from repro.streaming.base import StreamContext
+
+    if not args.stream:
+        print("sample: --from requires --stream", file=sys.stderr)
+        return 2
+    method_names = [
+        name.strip() for name in (args.method or "sieve").split(",") if name.strip()
+    ]
+    if len(method_names) != 1:
+        print("sample: feed mode streams exactly one method", file=sys.stderr)
+        return 2
+    method = get_method(method_names[0])
+    config = SieveConfig(theta=args.theta) if method.name == "sieve" else None
+    reader = ProfileTableReader(
+        args.feed, chunk_rows=args.chunk_rows, fmt=args.format
+    )
+    stream = method.begin_stream(
+        StreamContext(
+            workload=reader.workload,
+            reservoir_rows=args.reservoir,
+            collect_events=args.verbose,
+        ),
+        config,
+    )
+    for chunk in reader:
+        for event in stream.observe(chunk):
+            print(
+                f"{event.kind:7s} @row {event.rows_seen:>9d}  "
+                f"{event.group:16s} {event.kernel_name} "
+                f"row={event.row} inv={event.invocation_id} "
+                f"weight={event.weight:.4f}"
+            )
+    selection = stream.finalize()
+    mode = "buffered" if not method.streams_incrementally else "incremental"
+    print(f"workload        : {selection.workload}")
+    print(f"invocations     : {selection.num_invocations:,} ({mode} stream)")
+    print(f"total insns     : {selection.total_instructions:,}")
+    print(
+        f"{selection.method:12s}: {selection.num_representatives:4d} reps "
+        f"from {reader.rows_read:,} streamed rows"
+    )
+    if args.verbose:
+        for rep in selection.representatives:
+            print(
+                f"  pick {rep.group:16s} {rep.kernel_name} "
+                f"row={rep.row} inv={rep.invocation_id} "
+                f"weight={rep.weight:.4f}"
+            )
+    _print_stream_gauges()
+    return 0
 
 
 def _cmd_validate(args) -> int:
@@ -783,13 +867,41 @@ def build_parser() -> argparse.ArgumentParser:
     for name, handler in commands.items():
         sub.add_parser(name).set_defaults(handler=handler)
     sample = sub.add_parser("sample", help="run sampling methods on one workload")
-    sample.add_argument("workload")
+    sample.add_argument("workload", nargs="?", default=None)
     sample.add_argument("--theta", type=float, default=0.4)
     sample.add_argument(
         "--method",
         default=None,
         help="registered method name(s), comma-separated "
         "(default: sieve,pks; see 'sieve-repro methods list')",
+    )
+    sample.add_argument(
+        "--stream", action="store_true",
+        help="consume the profile incrementally through the method's "
+        "begin_stream surface instead of one batch select",
+    )
+    sample.add_argument(
+        "--chunk-rows", type=int, default=4096, metavar="N",
+        help="rows per streamed chunk (default 4096)",
+    )
+    sample.add_argument(
+        "--reservoir", type=int, default=None, metavar="N",
+        help="bound the per-kernel reservoir to N retained rows "
+        "(default: unbounded, which keeps streaming == batch)",
+    )
+    sample.add_argument(
+        "--from", dest="feed", default=None, metavar="FEED",
+        help="stream a CSV/JSONL profile feed from FEED ('-' for stdin) "
+        "instead of a catalog workload; implies a single method "
+        "(default sieve)",
+    )
+    sample.add_argument(
+        "--format", choices=("csv", "jsonl"), default=None,
+        help="feed format (default: sniffed from suffix / first byte)",
+    )
+    sample.add_argument(
+        "--verbose", action="store_true",
+        help="print emit/retract events as the stream progresses",
     )
     sample.set_defaults(handler=_cmd_sample)
 

@@ -7,6 +7,12 @@ way most of the stratum does). ``max_cta``, ``first``, ``random`` and
 ``centroid`` are alternative policies kept for the paper's stated ablation
 ("we also considered selecting the invocation with the maximum CTA size
 ... but we found this to be less accurate").
+
+Policies are expressed over a stratum's *member columns* (instruction
+count and CTA size per member, chronological order) and return a member
+position — the same helper serves the batch path, which gathers member
+columns from the profile table, and the streaming path, which holds them
+in the stratifier's retained sample.
 """
 
 from __future__ import annotations
@@ -22,21 +28,53 @@ from repro.utils.validation import require
 from repro.workloads.spec import Tier
 
 
-def _first_with_cta(table: ProfileTable, stratum: Stratum, cta: int) -> int:
-    member_cta = table.cta_size[stratum.rows]
-    candidates = stratum.rows[member_cta == cta]
+def _first_position(member_cta: np.ndarray, cta: int) -> int:
+    matches = np.flatnonzero(member_cta == cta)
     require(
-        len(candidates) > 0,
+        len(matches) > 0,
         "no invocation with the requested CTA size",
         SelectionError,
     )
-    return int(candidates[0])
+    return int(matches[0])
 
 
-def _dominant_cta(table: ProfileTable, stratum: Stratum) -> int:
-    """The stratum's modal CTA size (ties broken toward the smaller size)."""
-    sizes, counts = np.unique(table.cta_size[stratum.rows], return_counts=True)
-    return int(sizes[np.argmax(counts)])
+def representative_position(
+    tier: Tier,
+    policy: str,
+    *,
+    workload: str,
+    label: str,
+    member_insn: np.ndarray,
+    member_cta: np.ndarray,
+    record_metrics: bool = True,
+) -> int:
+    """Pick one member position for a stratum under ``policy``.
+
+    ``member_insn``/``member_cta`` are the stratum members' raw
+    instruction counts and CTA sizes in chronological order, so position
+    0 is the first-chronological invocation. ``record_metrics=False``
+    suppresses the selection counter for speculative picks (streaming
+    event refresh) so only committed selections are counted.
+    """
+    if record_metrics:
+        metrics.inc("sieve.selection.rows", policy=policy)
+    if tier is Tier.TIER1 or policy == "first":
+        return 0
+    if policy == "dominant_cta":
+        # Modal CTA size; np.unique ascends, so ties break toward the
+        # smaller size.
+        sizes, counts = np.unique(member_cta, return_counts=True)
+        return _first_position(member_cta, int(sizes[np.argmax(counts)]))
+    if policy == "max_cta":
+        return _first_position(member_cta, int(member_cta.max()))
+    if policy == "random":
+        rng = rng_for("sieve-select", workload, label)
+        return int(rng.integers(len(member_cta)))
+    if policy == "centroid":
+        values = np.asarray(member_insn, dtype=np.float64)
+        distance = np.abs(values - values.mean())
+        return int(np.argmin(distance))
+    raise ValueError(f"unknown selection policy {policy!r}")
 
 
 def select_representative_row(
@@ -47,19 +85,15 @@ def select_representative_row(
     Rows within a stratum are stored chronologically, so "first" selections
     are simply the smallest row index among candidates.
     """
-    metrics.inc("sieve.selection.rows", policy=policy)
     if stratum.tier is Tier.TIER1 or policy == "first":
+        metrics.inc("sieve.selection.rows", policy=policy)
         return int(stratum.rows[0])
-    if policy == "dominant_cta":
-        return _first_with_cta(table, stratum, _dominant_cta(table, stratum))
-    if policy == "max_cta":
-        max_cta = int(table.cta_size[stratum.rows].max())
-        return _first_with_cta(table, stratum, max_cta)
-    if policy == "random":
-        rng = rng_for("sieve-select", table.workload, stratum.label)
-        return int(stratum.rows[rng.integers(len(stratum.rows))])
-    if policy == "centroid":
-        member_insn = table.insn_count[stratum.rows].astype(np.float64)
-        distance = np.abs(member_insn - member_insn.mean())
-        return int(stratum.rows[np.argmin(distance)])
-    raise ValueError(f"unknown selection policy {policy!r}")
+    position = representative_position(
+        stratum.tier,
+        policy,
+        workload=table.workload,
+        label=stratum.label,
+        member_insn=table.insn_count[stratum.rows],
+        member_cta=table.cta_size[stratum.rows],
+    )
+    return int(stratum.rows[position])

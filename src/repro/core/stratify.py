@@ -12,13 +12,9 @@ from dataclasses import dataclass
 
 import numpy as np
 
-import repro.robustness.diagnostics as diagnostics
 from repro.core.config import SieveConfig
-from repro.core.kde import kde_strata
 from repro.observability import metrics, span
 from repro.profiling.table import ProfileTable
-from repro.utils.segments import Segments
-from repro.utils.stats import coefficient_of_variation
 from repro.utils.validation import require
 from repro.workloads.spec import Tier
 
@@ -50,92 +46,22 @@ def stratify_table(table: ProfileTable, config: SieveConfig) -> list[Stratum]:
     Returns strata grouped per kernel (kernels in id order, strata ordered
     by ascending instruction count within a kernel).
 
-    Grouping is one stable argsort of the kernel-id column plus segment
-    reductions (:class:`~repro.utils.segments.Segments`) rather than one
-    ``rows_for_kernel`` scan per kernel; the per-kernel tier CoV comes
-    from ``reduceat`` segment sums. Only Tier-3 kernels still pay a
-    per-kernel KDE call. The scalar original is retained as
-    :func:`repro.core.reference.stratify_table_scalar`.
+    The batch path is literally the streaming operator driven once: one
+    ``observe`` of the whole table (grouped segment reductions into the
+    per-kernel accumulators, everything retained) followed by
+    ``finalize`` — which, with a complete reservoir, replays the exact
+    batch reduceat math, so the output is bit-identical to the historical
+    one-shot pass (pinned by the fig3/4/6 goldens). Non-positive
+    instruction counts are clamped to 1 with a per-kernel diagnostic, as
+    before; :func:`repro.core.reference.stratify_table_scalar` remains
+    the scalar oracle.
     """
     require(config.theta > 0, "theta must be positive")
-    strata: list[Stratum] = []
+    from repro.streaming.stratify import StreamingStratifier
+
     with span("sieve.stratify", workload=table.workload, kernels=table.num_kernels):
-        segments = Segments.group_by(table.kernel_id)
-        insn_sorted = segments.gather(table.insn_count)
-        # Graceful degradation: non-positive instruction counts (dropped
-        # or corrupted counters) would blow up the log-domain KDE and the
-        # CoV. Clamp them to 1 for stratification purposes and say so;
-        # repro.robustness.validate.repair_table is the lossless fix.
-        bad_sorted = insn_sorted <= 0
-        bad_per_kernel = np.zeros(len(segments), dtype=np.int64)
-        if bad_sorted.any():
-            bad_per_kernel = segments.sums(bad_sorted.astype(np.int64))
-            insn_sorted = np.where(bad_sorted, 1, insn_sorted)
-            metrics.inc("sieve.stratify.clamped_insn", int(bad_sorted.sum()))
-        # Segment tier classification: Tier-1 iff min == max (exact on
-        # integers), otherwise the instruction-count CoV against theta.
-        tier1 = segments.mins(insn_sorted) == segments.maxs(insn_sorted)
-        covs = segments.covs(insn_sorted)
-        tier3 = ~tier1 & (covs > config.theta)
-        # Int64 segment sums are exact, so the per-kernel stratum totals
-        # match the historical int(member_insn.sum()) bit for bit.
-        sums = segments.sums(insn_sorted)
-        for tier, count in (
-            (Tier.TIER1, int(np.count_nonzero(tier1))),
-            (Tier.TIER2, int(np.count_nonzero(~tier1 & ~tier3))),
-            (Tier.TIER3, int(np.count_nonzero(tier3))),
-        ):
-            if count:
-                metrics.inc("sieve.stratify.kernels", count, tier=tier.name)
-        kernel_names = table.kernel_names
-        for gi in range(len(segments)):
-            kernel_id = int(segments.keys[gi])
-            kernel_name = kernel_names[kernel_id]
-            rows = segments.rows(gi)  # chronological: the argsort is stable
-            if bad_per_kernel[gi]:
-                diagnostics.emit(
-                    "stratify",
-                    f"kernel {kernel_name!r}: clamped "
-                    f"{int(bad_per_kernel[gi])} non-positive insn counts to 1",
-                )
-            if not tier3[gi]:
-                # Tier-1/2 kernels form exactly one stratum: the whole
-                # segment, whose total and CoV are already reduced above.
-                metrics.observe("sieve.stratify.stratum_size", len(rows))
-                strata.append(
-                    Stratum(
-                        kernel_id=kernel_id,
-                        kernel_name=kernel_name,
-                        tier=Tier.TIER1 if tier1[gi] else Tier.TIER2,
-                        index=0,
-                        rows=rows,
-                        insn_total=int(sums[gi]),
-                        insn_cov=float(covs[gi]),
-                    )
-                )
-                continue
-            insn = insn_sorted[segments.starts[gi] : segments.ends[gi]]
-            groups = kde_strata(
-                insn,
-                config.theta,
-                grid_points=config.kde_grid_points,
-                bandwidth_scale=config.kde_bandwidth_scale,
-            )
-            for index, group in enumerate(groups):
-                order = np.sort(group)
-                member_rows = rows[order]
-                member_insn = insn[order]  # clamped view, keeps totals positive
-                metrics.observe("sieve.stratify.stratum_size", len(member_rows))
-                strata.append(
-                    Stratum(
-                        kernel_id=kernel_id,
-                        kernel_name=kernel_name,
-                        tier=Tier.TIER3,
-                        index=index,
-                        rows=member_rows,
-                        insn_total=int(member_insn.sum()),
-                        insn_cov=coefficient_of_variation(member_insn),
-                    )
-                )
+        stratifier = StreamingStratifier(table.workload, config)
+        stratifier.observe(table)
+        strata = stratifier.finalize().strata
     metrics.inc("sieve.stratify.strata", len(strata))
     return strata

@@ -41,7 +41,11 @@ from typing import TYPE_CHECKING, Callable, Mapping, Sequence
 
 import repro
 from repro.evaluation.context import build_context
-from repro.evaluation.runner import MethodResult, evaluate_method
+from repro.evaluation.runner import (
+    MethodResult,
+    evaluate_method,
+    evaluate_method_streaming,
+)
 from repro.evaluation.shm import (
     SharedTablePlane,
     SharedTableRef,
@@ -65,6 +69,7 @@ from repro.workloads.spec import WorkloadSpec
 if TYPE_CHECKING:  # annotation-only; keeps baselines out of the import graph
     from repro.baselines.pks import PksConfig
     from repro.core.config import SieveConfig
+    from repro.streaming.base import StreamingSpec
 
 #: Bump when the cached payload layout changes; old entries become misses.
 #: 3: MethodResult grew ``attribution`` (and PredictionResult
@@ -132,6 +137,12 @@ class EvaluationTask:
     #: content digest replaces the spec in the cache key. Mutually
     #: exclusive with ``spec``.
     table_ref: SharedTableRef | None = None
+    #: When set, each method consumes the profile through its
+    #: ``begin_stream`` surface in ``chunk_rows`` slices (optionally with
+    #: a bounded per-kernel reservoir) instead of one batch ``select``.
+    #: Folded into the cache key: a streamed result never aliases a batch
+    #: one, even though unbounded streams are byte-identical by contract.
+    streaming: StreamingSpec | None = None
 
     def __post_init__(self) -> None:
         require(len(self.methods) >= 1, "task must request a method", EngineError)
@@ -209,6 +220,7 @@ class EvaluationTask:
             self.max_invocations,
             self.fault_plan,
             list(self.methods),
+            self.streaming,
         )
 
 
@@ -231,30 +243,38 @@ def run_task(task: EvaluationTask) -> dict[str, MethodResult]:
     reference, and independent of all engine state so serial and parallel
     execution share one code path.
     """
+    def evaluate(context) -> dict[str, MethodResult]:
+        if task.streaming is not None:
+            return {
+                request.key: evaluate_method_streaming(
+                    request.method,
+                    context,
+                    request.config,
+                    chunk_rows=task.streaming.chunk_rows,
+                    reservoir_rows=task.streaming.reservoir_rows,
+                )
+                for request in task.methods
+            }
+        return {
+            request.key: evaluate_method(request.method, context, request.config)
+            for request in task.methods
+        }
+
     with span("engine.task", workload=task.label):
         if task.table_ref is not None:
             # Attach the published segment for exactly the task's
             # lifetime; results hold their own arrays, so closing the
             # mapping afterwards is safe (the lifecycle tests pin this).
             with attached_context(task.table_ref, task.fault_plan) as context:
-                return {
-                    request.key: evaluate_method(
-                        request.method, context, request.config
-                    )
-                    for request in task.methods
-                }
-        context = build_context(
-            task.label,
-            task.max_invocations,
-            fault_plan=task.fault_plan,
-            spec=task.spec,
-        )
-        results: dict[str, MethodResult] = {}
-        for request in task.methods:
-            results[request.key] = evaluate_method(
-                request.method, context, request.config
+                return evaluate(context)
+        return evaluate(
+            build_context(
+                task.label,
+                task.max_invocations,
+                fault_plan=task.fault_plan,
+                spec=task.spec,
             )
-        return results
+        )
 
 
 def run_task_with_telemetry(

@@ -46,6 +46,35 @@ class MethodResult:
         return self.error * 100.0
 
 
+def _score_selection(
+    method,
+    method_name: str,
+    context: WorkloadContext,
+    config: object | None,
+    selection: SampleSelection,
+) -> MethodResult:
+    """Predict + score an already-made selection (shared batch/stream)."""
+    prediction = method.predict(selection, context.golden, config)
+    cycles = cycles_in_table_order(method.profile_table(context), context.golden)
+    cov = weighted_cycle_cov(method.group_rows(selection), cycles)
+    attribution = attribute_error(method, selection, prediction, context, config)
+    # Accuracy is judged against the *clean* reference (context.truth);
+    # under fault injection it differs from the corrupted context.golden
+    # the method consumed.
+    return MethodResult(
+        workload=context.label,
+        method=selection.method,
+        error=prediction_error(prediction.predicted_cycles, context.truth.total_cycles),
+        speedup=simulation_speedup(selection, context.golden),
+        num_representatives=selection.num_representatives,
+        cycle_cov=cov,
+        predicted_cycles=prediction.predicted_cycles,
+        measured_cycles=context.truth.total_cycles,
+        selection=selection,
+        attribution=attribution,
+    )
+
+
 def evaluate_method(
     method_name: str,
     context: WorkloadContext,
@@ -62,26 +91,56 @@ def evaluate_method(
     config = method.resolve_config(config)
     with span(f"evaluate.{method_name}", workload=context.label):
         selection = method.select(context, config)
-        prediction = method.predict(selection, context.golden, config)
-        cycles = cycles_in_table_order(method.profile_table(context), context.golden)
-        cov = weighted_cycle_cov(method.group_rows(selection), cycles)
-        attribution = attribute_error(method, selection, prediction, context, config)
+        result = _score_selection(method, method_name, context, config, selection)
     metrics.inc("evaluate.method", method=method_name)
-    # Accuracy is judged against the *clean* reference (context.truth);
-    # under fault injection it differs from the corrupted context.golden
-    # the method consumed.
-    return MethodResult(
+    return result
+
+
+def evaluate_method_streaming(
+    method_name: str,
+    context: WorkloadContext,
+    config: object | None = None,
+    *,
+    chunk_rows: int = 4096,
+    reservoir_rows: int | None = None,
+) -> MethodResult:
+    """Like :func:`evaluate_method`, but the profile reaches the method
+    as a chunked stream through its ``begin_stream`` surface.
+
+    With an unbounded reservoir (the default) the result is byte-identical
+    to :func:`evaluate_method` — the per-method property tests pin this —
+    while the ``streaming.high_water_rows`` gauge reports the stream's
+    actual resident footprint (O(rows) for buffering fallbacks, O(kernels
+    + reservoir) for true streams). ``reservoir_rows`` bounds the
+    per-kernel retained sample for genuinely memory-constrained runs, at
+    the price of approximate Tier-3 splits.
+    """
+    from repro.streaming.base import StreamContext, iter_table_chunks
+
+    method = get_method(method_name)
+    config = method.resolve_config(config)
+    table = method.profile_table(context)
+    with span(
+        f"evaluate-stream.{method_name}",
         workload=context.label,
-        method=selection.method,
-        error=prediction_error(prediction.predicted_cycles, context.truth.total_cycles),
-        speedup=simulation_speedup(selection, context.golden),
-        num_representatives=selection.num_representatives,
-        cycle_cov=cov,
-        predicted_cycles=prediction.predicted_cycles,
-        measured_cycles=context.truth.total_cycles,
-        selection=selection,
-        attribution=attribution,
-    )
+        chunk_rows=chunk_rows,
+    ):
+        stream = method.begin_stream(
+            StreamContext(
+                workload=table.workload,
+                golden=context.golden,
+                batch=context,
+                reservoir_rows=reservoir_rows,
+            ),
+            config,
+        )
+        for index, chunk in enumerate(iter_table_chunks(table, chunk_rows)):
+            with span("streaming.flush", chunk=index, rows=len(chunk)):
+                stream.observe(chunk)
+        selection = stream.finalize()
+        result = _score_selection(method, method_name, context, config, selection)
+    metrics.inc("evaluate.method.streamed", method=method_name)
+    return result
 
 
 def evaluate_sieve(context: WorkloadContext, config=None) -> MethodResult:

@@ -30,6 +30,7 @@ if TYPE_CHECKING:
     from repro.evaluation.context import WorkloadContext
     from repro.gpu.hardware import WorkloadMeasurement
     from repro.profiling.table import ProfileTable
+    from repro.streaming.base import MethodStream, StreamContext
 
 
 @dataclass(frozen=True)
@@ -69,6 +70,9 @@ class SamplingMethod(ABC):
     config_schema: type | None = None
     #: One-line description shown by ``sieve-repro methods list``.
     description: str = ""
+    #: True when ``begin_stream`` is a real incremental implementation
+    #: rather than the buffer-everything fallback.
+    streams_incrementally: bool = False
 
     # ------------------------------------------------------------------ #
     # Required surface
@@ -113,6 +117,21 @@ class SamplingMethod(ABC):
                 f"got {type(config).__name__}"
             )
         return config
+
+    def begin_stream(
+        self, stream: StreamContext, config: object | None = None
+    ) -> MethodStream:
+        """Start an incremental selection over a chunked profile feed.
+
+        The default buffers every observed chunk and delegates to
+        ``select`` at finalize — correct for any method, incremental for
+        none (``streams_incrementally`` says which). Methods with a true
+        streaming implementation (sieve, periodic) override this to
+        return their operator.
+        """
+        from repro.streaming.base import BufferingStream
+
+        return BufferingStream(self, stream, self.resolve_config(config))
 
     def profile_table(self, context: WorkloadContext) -> ProfileTable:
         """The profile whose row order aligns with this method's selection.

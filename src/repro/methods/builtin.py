@@ -38,9 +38,15 @@ class SieveMethod(SamplingMethod):
     name = "sieve"
     config_schema = SieveConfig
     description = "Sieve: KDE-stratified sampling on instruction counts"
+    streams_incrementally = True
 
     def select(self, context: WorkloadContext, config: SieveConfig) -> SampleSelection:
         return SievePipeline(config).select(context.sieve_table)
+
+    def begin_stream(self, stream, config: SieveConfig | None = None):
+        from repro.streaming.sieve import SieveStream
+
+        return SieveStream(stream, self.resolve_config(config))
 
     def predict(
         self,
@@ -121,6 +127,12 @@ class PeriodicMethod(SamplingMethod):
     name = "periodic"
     config_schema = PeriodicSampler
     description = "periodic baseline: every period-th invocation"
+    streams_incrementally = True
+
+    def begin_stream(self, stream, config: PeriodicSampler | None = None):
+        from repro.streaming.periodic import PeriodicStream
+
+        return PeriodicStream(stream, self.resolve_config(config))
 
     def select(
         self, context: WorkloadContext, config: PeriodicSampler

@@ -16,7 +16,11 @@ good rows and reports everything wrong, see
 from __future__ import annotations
 
 import csv
+import io
+import json
+import sys
 from pathlib import Path
+from typing import Iterator, TextIO
 
 import numpy as np
 
@@ -215,3 +219,242 @@ def read_profile_csv(path: str | Path) -> ProfileTable:
         num_ctas=num_ctas,
         metrics=metrics,
     )
+
+
+#: JSONL feed fields, one object per invocation row. ``workload`` and
+#: ``rows`` may appear in an optional leading header object instead.
+_JSONL_FIELDS = _BASE_COLUMNS
+
+
+class ProfileTableReader:
+    """Chunked reader over a profile feed: CSV, JSONL, file or stdin.
+
+    Yields :class:`ProfileTable` chunks of at most ``chunk_rows`` rows,
+    suitable for a method's ``begin_stream`` surface. The reader keeps one
+    *growing* kernel-name map across chunks, so kernel ids are stable: a
+    name's id in chunk ``k`` equals its id in every later chunk, and each
+    chunk's ``kernel_names`` tuple is the map so far (a prefix-consistent
+    view). Only O(chunk_rows + kernels) rows are resident at any time.
+
+    ``source`` is a path, ``"-"`` (stdin), or an open text handle. The
+    format is taken from ``fmt`` (``"csv"``/``"jsonl"``), else sniffed:
+    a ``.jsonl``/``.ndjson`` suffix or a first byte of ``{`` means JSONL.
+
+    * CSV feeds use the :func:`write_profile_csv` layout (preamble +
+      header + rows); trailing metric columns are accepted and dropped —
+      streams consume the Sieve-visible columns.
+    * JSONL feeds carry one object per row with keys ``kernel_name``,
+      ``invocation_id``, ``insn_count``, ``cta_size``, ``num_ctas``; an
+      optional leading ``{"workload": ..., "rows": ...}`` header object
+      plays the preamble's role.
+
+    Malformed rows raise :class:`ProfileError` with the 1-based line
+    number. When the feed declared a row count, exhausting it early
+    raises the same truncation error as :func:`read_profile_csv`.
+    """
+
+    def __init__(
+        self,
+        source: str | Path | TextIO,
+        *,
+        chunk_rows: int = 4096,
+        fmt: str | None = None,
+        workload: str | None = None,
+    ):
+        require(chunk_rows >= 1, "chunk_rows must be >= 1", ProfileError)
+        require(
+            fmt in (None, "csv", "jsonl"),
+            f"unknown feed format {fmt!r} (expected 'csv' or 'jsonl')",
+            ProfileError,
+        )
+        self.chunk_rows = chunk_rows
+        self.workload = workload or "stream"
+        self.declared_rows: int | None = None
+        self.rows_read = 0
+        self._names: list[str] = []
+        self._index: dict[str, int] = {}
+        if hasattr(source, "read"):
+            self._handle: TextIO = source  # type: ignore[assignment]
+            self._path = Path(getattr(source, "name", "<stream>"))
+            self._owns_handle = False
+        elif str(source) == "-":
+            self._handle = sys.stdin
+            self._path = Path("<stdin>")
+            self._owns_handle = False
+        else:
+            self._path = Path(source)
+            self._handle = self._path.open(newline="")
+            self._owns_handle = True
+        self._fmt = fmt or self._sniff()
+
+    def _sniff(self) -> str:
+        suffix = self._path.suffix.lower()
+        if suffix in (".jsonl", ".ndjson"):
+            return "jsonl"
+        if suffix == ".csv":
+            return "csv"
+        if self._handle.seekable():
+            pos = self._handle.tell()
+            first = self._handle.read(1)
+            self._handle.seek(pos)
+            return "jsonl" if first == "{" else "csv"
+        # Non-seekable (a pipe): peek by buffering the first line.
+        first_line = self._handle.readline()
+        rest = self._handle
+        self._handle = _ChainedText(first_line, rest)
+        return "jsonl" if first_line.lstrip()[:1] == "{" else "csv"
+
+    def _register(self, name: str) -> int:
+        slot = self._index.get(name)
+        if slot is None:
+            slot = len(self._names)
+            self._index[name] = slot
+            self._names.append(name)
+        return slot
+
+    def _chunk_from(
+        self, parsed: list[tuple[str, int, int, int, int]]
+    ) -> ProfileTable:
+        n = len(parsed)
+        kernel_id = np.empty(n, dtype=np.int32)
+        invocation_id = np.empty(n, dtype=np.int64)
+        insn = np.empty(n, dtype=np.int64)
+        cta_size = np.empty(n, dtype=np.int32)
+        num_ctas = np.empty(n, dtype=np.int64)
+        for i, (name, inv, count, cta, ctas) in enumerate(parsed):
+            kernel_id[i] = self._register(name)
+            invocation_id[i] = inv
+            insn[i] = count
+            cta_size[i] = cta
+            num_ctas[i] = ctas
+        self.rows_read += n
+        return ProfileTable(
+            workload=self.workload,
+            kernel_names=tuple(self._names),
+            kernel_id=kernel_id,
+            invocation_id=invocation_id,
+            insn_count=insn,
+            cta_size=cta_size,
+            num_ctas=num_ctas,
+        )
+
+    def __iter__(self) -> Iterator[ProfileTable]:
+        try:
+            rows = self._iter_csv() if self._fmt == "csv" else self._iter_jsonl()
+            pending: list[tuple[str, int, int, int, int]] = []
+            for record in rows:
+                pending.append(record)
+                if len(pending) >= self.chunk_rows:
+                    yield self._chunk_from(pending)
+                    pending = []
+            if pending:
+                yield self._chunk_from(pending)
+            if (
+                self.declared_rows is not None
+                and self.rows_read != self.declared_rows
+            ):
+                raise ProfileError(
+                    f"row count mismatch: feed declares {self.declared_rows} "
+                    f"rows, delivered {self.rows_read} (truncated feed?)",
+                    path=str(self._path),
+                )
+        finally:
+            if self._owns_handle:
+                self._handle.close()
+
+    def _iter_csv(self) -> Iterator[tuple[str, int, int, int, int]]:
+        reader = csv.reader(self._handle)
+        try:
+            preamble = next(reader)
+        except StopIteration:
+            raise ProfileError("empty profile feed", path=str(self._path)) from None
+        self.workload, self.declared_rows = parse_preamble(preamble, self._path)
+        try:
+            header = next(reader)
+        except StopIteration:
+            raise ProfileError(
+                "missing header row", path=str(self._path), row=2
+            ) from None
+        metric_columns = parse_header(header, self._path)
+        for row in reader:
+            try:
+                name, inv, count, cta, ctas, _ = parse_data_row(
+                    row, len(metric_columns)
+                )
+            except ValueError as exc:
+                raise ProfileError(
+                    str(exc), path=str(self._path), row=reader.line_num
+                ) from None
+            yield name, inv, count, cta, ctas
+
+    def _iter_jsonl(self) -> Iterator[tuple[str, int, int, int, int]]:
+        for line_num, line in enumerate(self._handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except ValueError as exc:
+                raise ProfileError(
+                    f"unparseable JSON: {exc}", path=str(self._path), row=line_num
+                ) from None
+            if not isinstance(record, dict):
+                raise ProfileError(
+                    f"expected a JSON object, got {type(record).__name__}",
+                    path=str(self._path),
+                    row=line_num,
+                )
+            if "kernel_name" not in record:
+                # Leading header object: workload / declared row count.
+                if line_num == 1 and ("workload" in record or "rows" in record):
+                    self.workload = str(record.get("workload", self.workload))
+                    if "rows" in record:
+                        self.declared_rows = int(record["rows"])
+                    continue
+                raise ProfileError(
+                    "row object missing 'kernel_name'",
+                    path=str(self._path),
+                    row=line_num,
+                )
+            try:
+                yield (
+                    str(record["kernel_name"]),
+                    int(record["invocation_id"]),
+                    int(record["insn_count"]),
+                    int(record["cta_size"]),
+                    int(record["num_ctas"]),
+                )
+            except (KeyError, TypeError, ValueError) as exc:
+                raise ProfileError(
+                    f"bad row object: {exc!r}", path=str(self._path), row=line_num
+                ) from None
+
+
+class _ChainedText(io.TextIOBase):
+    """Re-prefix a consumed first line onto a non-seekable text stream."""
+
+    def __init__(self, head: str, rest: TextIO):
+        self._head = head
+        self._rest = rest
+
+    def readline(self, size: int = -1) -> str:  # pragma: no cover - trivial
+        if self._head:
+            line, self._head = self._head, ""
+            return line
+        return self._rest.readline(size)
+
+    def read(self, size: int = -1) -> str:
+        if size is None or size < 0:
+            data, self._head = self._head, ""
+            return data + self._rest.read()
+        if self._head:
+            data, self._head = self._head[:size], self._head[size:]
+            return data
+        return self._rest.read(size)
+
+    def __iter__(self):
+        while True:
+            line = self.readline()
+            if not line:
+                return
+            yield line

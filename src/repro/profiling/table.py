@@ -81,3 +81,63 @@ class ProfileTable:
             num_ctas=self.num_ctas,
             metrics=None,
         )
+
+    def slice_rows(self, start: int, stop: int) -> "ProfileTable":
+        """Rows ``[start, stop)`` as a view-backed chunk.
+
+        The chunk shares ``kernel_names`` (and therefore kernel ids) with
+        the parent table, so streaming consumers can merge chunks without
+        remapping ids. Columns are numpy views, not copies.
+        """
+        return ProfileTable(
+            workload=self.workload,
+            kernel_names=self.kernel_names,
+            kernel_id=self.kernel_id[start:stop],
+            invocation_id=self.invocation_id[start:stop],
+            insn_count=self.insn_count[start:stop],
+            cta_size=self.cta_size[start:stop],
+            num_ctas=self.num_ctas[start:stop],
+            metrics=None if self.metrics is None else self.metrics[start:stop],
+        )
+
+
+def concat_profile_tables(chunks: "list[ProfileTable]") -> ProfileTable:
+    """Concatenate chunks back into one chronologically ordered table.
+
+    Kernel names are unioned in first-seen order and each chunk's kernel
+    ids are remapped onto the union, so chunks produced by independent
+    readers (whose name tables grow as kernels appear) concatenate as
+    cleanly as slices of one parent table. All chunks must agree on the
+    workload name and on whether they carry the metric matrix.
+    """
+    require(len(chunks) >= 1, "need at least one chunk to concatenate")
+    workload = chunks[0].workload
+    with_metrics = chunks[0].metrics is not None
+    names: list[str] = []
+    index: dict[str, int] = {}
+    remapped: list[np.ndarray] = []
+    for chunk in chunks:
+        require(chunk.workload == workload, "chunks disagree on workload")
+        require(
+            (chunk.metrics is not None) == with_metrics,
+            "chunks disagree on metric columns",
+        )
+        mapping = np.empty(len(chunk.kernel_names), dtype=np.int32)
+        for i, name in enumerate(chunk.kernel_names):
+            if name not in index:
+                index[name] = len(names)
+                names.append(name)
+            mapping[i] = index[name]
+        remapped.append(mapping[chunk.kernel_id])
+    return ProfileTable(
+        workload=workload,
+        kernel_names=tuple(names),
+        kernel_id=np.concatenate(remapped).astype(np.int32),
+        invocation_id=np.concatenate([c.invocation_id for c in chunks]),
+        insn_count=np.concatenate([c.insn_count for c in chunks]),
+        cta_size=np.concatenate([c.cta_size for c in chunks]),
+        num_ctas=np.concatenate([c.num_ctas for c in chunks]),
+        metrics=(
+            np.concatenate([c.metrics for c in chunks]) if with_metrics else None
+        ),
+    )

@@ -1,0 +1,294 @@
+"""Online per-kernel statistics and bounded retained samples.
+
+:class:`KernelAccumulators` holds the O(kernels) half of the streaming
+stratifier: exact integer count/sum/min/max per kernel plus a Welford
+(Chan parallel-merge) mean/M2 pair for the incremental coefficient of
+variation. Integer fields are exact over the whole stream regardless of
+chunking; the Welford CoV is exact up to float rounding and is only
+consulted for kernels whose reservoir overflowed — kernels retained in
+full have their CoV recomputed at finalize with the same two-pass
+segment reductions the batch path uses, which is what keeps the batch
+driver byte-identical.
+
+:class:`ReservoirStore` holds the O(reservoir) half: per-kernel retained
+invocations. Unbounded (``capacity=None``) it keeps everything — the
+batch driver's mode. Bounded it runs Algorithm R per kernel with a
+deterministic per-kernel generator seeded from the workload and kernel
+name, drawing exactly one variate per post-capacity arrival in arrival
+order — so the retained sample is a pure function of the per-kernel
+arrival sequence, invariant to chunk sizes and chunk interleavings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.observability import metrics
+from repro.utils.seeding import rng_for
+
+_INT64_MAX = np.iinfo(np.int64).max
+_INT64_MIN = np.iinfo(np.int64).min
+
+
+@dataclass
+class ChunkStats:
+    """Per-kernel segment reductions of one chunk, ready to merge."""
+
+    counts: np.ndarray  # int64
+    insn_sum: np.ndarray  # int64, clamped instruction counts
+    raw_sum: np.ndarray  # int64, unclamped instruction counts
+    bad: np.ndarray  # int64, non-positive counts clamped to 1
+    min_insn: np.ndarray  # int64, clamped
+    max_insn: np.ndarray  # int64, clamped
+    mean: np.ndarray  # float64, clamped
+    m2: np.ndarray  # float64, clamped sum of squared deviations
+    max_cta: np.ndarray  # int64
+
+
+class KernelAccumulators:
+    """Growable per-kernel accumulator table, merged vectorized per chunk.
+
+    Kernels are keyed by name in first-seen order; ``kernel_id`` records
+    the profile-table id the kernel first appeared under, which defines
+    the canonical (batch-compatible) finalize order.
+    """
+
+    def __init__(self) -> None:
+        self._index: dict[str, int] = {}
+        self.names: list[str] = []
+        self.kernel_id: list[int] = []
+        n = 0
+        self.count = np.zeros(n, dtype=np.int64)
+        self.insn_sum = np.zeros(n, dtype=np.int64)
+        self.raw_sum = np.zeros(n, dtype=np.int64)
+        self.bad = np.zeros(n, dtype=np.int64)
+        self.min_insn = np.zeros(n, dtype=np.int64)
+        self.max_insn = np.zeros(n, dtype=np.int64)
+        self.mean = np.zeros(n, dtype=np.float64)
+        self.m2 = np.zeros(n, dtype=np.float64)
+        self.max_cta = np.zeros(n, dtype=np.int64)
+
+    def __len__(self) -> int:
+        return len(self.names)
+
+    def _grow_to(self, n: int) -> None:
+        old = len(self.count)
+        if n <= old:
+            return
+        size = max(n, old * 2, 16)
+
+        def grown(arr: np.ndarray, fill: object) -> np.ndarray:
+            out = np.full(size, fill, dtype=arr.dtype)
+            out[:old] = arr
+            return out
+
+        self.count = grown(self.count, 0)
+        self.insn_sum = grown(self.insn_sum, 0)
+        self.raw_sum = grown(self.raw_sum, 0)
+        self.bad = grown(self.bad, 0)
+        self.min_insn = grown(self.min_insn, _INT64_MAX)
+        self.max_insn = grown(self.max_insn, _INT64_MIN)
+        self.mean = grown(self.mean, 0.0)
+        self.m2 = grown(self.m2, 0.0)
+        self.max_cta = grown(self.max_cta, _INT64_MIN)
+
+    def slots_for(
+        self, kernel_names: tuple[str, ...], chunk_kernel_ids: np.ndarray
+    ) -> np.ndarray:
+        """Accumulator slots for the chunk's present kernels, registering
+        kernels seen for the first time (recording their chunk id)."""
+        slots = np.empty(len(chunk_kernel_ids), dtype=np.int64)
+        for i, kid in enumerate(chunk_kernel_ids):
+            name = kernel_names[int(kid)]
+            slot = self._index.get(name)
+            if slot is None:
+                slot = len(self.names)
+                self._index[name] = slot
+                self.names.append(name)
+                self.kernel_id.append(int(kid))
+                self._grow_to(slot + 1)
+            slots[i] = slot
+        return slots
+
+    def merge(self, slots: np.ndarray, stats: ChunkStats) -> None:
+        """Fold one chunk's per-kernel reductions in (Chan merge for M2)."""
+        n_a = self.count[slots].astype(np.float64)
+        n_b = stats.counts.astype(np.float64)
+        n = n_a + n_b
+        delta = stats.mean - self.mean[slots]
+        self.mean[slots] += delta * n_b / n
+        self.m2[slots] += stats.m2 + delta * delta * n_a * n_b / n
+        self.count[slots] += stats.counts
+        self.insn_sum[slots] += stats.insn_sum
+        self.raw_sum[slots] += stats.raw_sum
+        self.bad[slots] += stats.bad
+        self.min_insn[slots] = np.minimum(self.min_insn[slots], stats.min_insn)
+        self.max_insn[slots] = np.maximum(self.max_insn[slots], stats.max_insn)
+        self.max_cta[slots] = np.maximum(self.max_cta[slots], stats.max_cta)
+
+    def welford_cov(self, slot: int) -> float:
+        """Population CoV from the running mean/M2 (full-stream, online).
+
+        Matches :func:`repro.utils.stats.coefficient_of_variation`
+        semantics on degenerate inputs: <= 1 observation or an all-zero
+        kernel reduce to 0.
+        """
+        count = int(self.count[slot])
+        if count <= 1:
+            return 0.0
+        std = float(np.sqrt(self.m2[slot] / count))
+        mean = float(self.mean[slot])
+        if mean == 0.0:
+            return 0.0 if std == 0.0 else float("inf")
+        return std / abs(mean)
+
+    def total_instructions(self) -> int:
+        """Exact raw instruction total over everything observed."""
+        return int(self.raw_sum[: len(self.names)].sum())
+
+    def clamped_total(self) -> int:
+        """Exact clamped instruction total (the stratum-weight denominator)."""
+        return int(self.insn_sum[: len(self.names)].sum())
+
+
+@dataclass
+class _Reservoir:
+    """One kernel's retained invocations."""
+
+    capacity: int | None
+    # Unbounded mode: chunk pieces appended per observe.
+    pieces: list[tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]] = field(
+        default_factory=list
+    )
+    # Bounded mode: fixed-size columns plus the arrival index per slot.
+    row: np.ndarray | None = None
+    invocation_id: np.ndarray | None = None
+    insn_raw: np.ndarray | None = None
+    cta: np.ndarray | None = None
+    arrival: np.ndarray | None = None
+    filled: int = 0
+    seen: int = 0
+    replaced: int = 0
+    rng: np.random.Generator | None = None
+
+
+class ReservoirStore:
+    """Per-kernel retained samples (everything, or an Algorithm-R sketch)."""
+
+    def __init__(self, workload: str, capacity: int | None = None):
+        self.workload = workload
+        self.capacity = capacity
+        self._reservoirs: dict[int, _Reservoir] = {}
+
+    @property
+    def bounded(self) -> bool:
+        return self.capacity is not None
+
+    def _get(self, slot: int) -> _Reservoir:
+        reservoir = self._reservoirs.get(slot)
+        if reservoir is None:
+            reservoir = self._reservoirs[slot] = _Reservoir(self.capacity)
+            if self.bounded:
+                cap = self.capacity
+                reservoir.row = np.zeros(cap, dtype=np.int64)
+                reservoir.invocation_id = np.zeros(cap, dtype=np.int64)
+                reservoir.insn_raw = np.zeros(cap, dtype=np.int64)
+                reservoir.cta = np.zeros(cap, dtype=np.int64)
+                reservoir.arrival = np.zeros(cap, dtype=np.int64)
+        return reservoir
+
+    def append(
+        self,
+        slot: int,
+        kernel_name: str,
+        rows: np.ndarray,
+        invocation_id: np.ndarray,
+        insn_raw: np.ndarray,
+        cta: np.ndarray,
+    ) -> None:
+        """Fold one kernel's chunk segment in (arrival order)."""
+        reservoir = self._get(slot)
+        m = len(rows)
+        if not self.bounded:
+            reservoir.pieces.append((rows, invocation_id, insn_raw, cta))
+            reservoir.seen += m
+            reservoir.filled += m
+            return
+        cap = self.capacity
+        start = reservoir.seen
+        fill = max(0, min(cap - start, m))
+        if fill:
+            end = start + fill
+            reservoir.row[start:end] = rows[:fill]
+            reservoir.invocation_id[start:end] = invocation_id[:fill]
+            reservoir.insn_raw[start:end] = insn_raw[:fill]
+            reservoir.cta[start:end] = cta[:fill]
+            reservoir.arrival[start:end] = np.arange(start, end)
+            reservoir.filled = end
+        if fill < m:
+            # Algorithm R over the post-capacity arrivals: one uniform
+            # draw on [0, arrival] per item, replacing slot j when j < cap.
+            # Drawn in arrival order from a per-kernel generator, so the
+            # retained set is chunk-boundary invariant.
+            if reservoir.rng is None:
+                reservoir.rng = rng_for(
+                    "streaming-reservoir", self.workload, kernel_name
+                )
+            arrivals = np.arange(start + fill, start + m, dtype=np.int64)
+            j = reservoir.rng.integers(0, arrivals + 1)
+            keep = j < cap
+            if np.any(keep):
+                targets = j[keep]
+                source = fill + np.flatnonzero(keep)
+                # Later arrivals overwrite earlier ones landing on the
+                # same slot; resolve duplicates to the last occurrence
+                # explicitly (fancy-assignment order is unspecified).
+                reversed_targets = targets[::-1]
+                unique, first = np.unique(reversed_targets, return_index=True)
+                last = len(targets) - 1 - first
+                reservoir.row[unique] = rows[source[last]]
+                reservoir.invocation_id[unique] = invocation_id[source[last]]
+                reservoir.insn_raw[unique] = insn_raw[source[last]]
+                reservoir.cta[unique] = cta[source[last]]
+                reservoir.arrival[unique] = arrivals[keep][last]
+                reservoir.replaced += int(np.count_nonzero(keep))
+                metrics.inc("streaming.evictions", int(np.count_nonzero(keep)))
+        reservoir.seen += m
+
+    def complete(self, slot: int) -> bool:
+        """True when every observed invocation of the kernel is retained."""
+        reservoir = self._reservoirs.get(slot)
+        if reservoir is None:
+            return True
+        return not self.bounded or reservoir.seen <= self.capacity
+
+    def retained(
+        self, slot: int
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Retained (rows, invocation ids, raw insn, cta), chronological."""
+        reservoir = self._reservoirs[slot]
+        if not self.bounded:
+            pieces = reservoir.pieces
+            if len(pieces) == 1:
+                return pieces[0]
+            return tuple(
+                np.concatenate([piece[i] for piece in pieces]) for i in range(4)
+            )
+        n = reservoir.filled
+        order = np.argsort(reservoir.arrival[:n], kind="stable")
+        return (
+            reservoir.row[:n][order],
+            reservoir.invocation_id[:n][order],
+            reservoir.insn_raw[:n][order],
+            reservoir.cta[:n][order],
+        )
+
+    def retained_count(self, slot: int) -> int:
+        reservoir = self._reservoirs.get(slot)
+        return 0 if reservoir is None else reservoir.filled
+
+    def resident_rows(self) -> int:
+        """Rows currently retained across all kernels."""
+        return sum(r.filled for r in self._reservoirs.values())

@@ -1,0 +1,140 @@
+"""Incremental periodic (systematic) sampling.
+
+Membership in a periodic sample is a pure function of the global row
+index — ``row >= offset and (row - offset) % period == 0`` — so the
+stream needs O(picks) state and no reservoir: each qualifying row is
+emitted the moment it arrives. The batch fallback (an empty grid picks
+row 0) maps onto a *provisional* pick that is emitted when row 0 is seen
+and retracted as soon as a real grid pick lands — the simplest honest
+demonstration of retract semantics.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.periodic import PeriodicSampler
+from repro.core.types import Representative, SampleSelection
+from repro.streaming.base import MethodStream, StreamContext
+from repro.utils.errors import StreamingError
+from repro.utils.validation import require
+
+
+class PeriodicStream(MethodStream):
+    """One in-progress incremental periodic selection."""
+
+    def __init__(self, context: StreamContext, config: PeriodicSampler):
+        super().__init__(context)
+        self.period = config.period
+        self.offset = config.offset
+        self._workload = context.workload
+        self._saw_chunk = False
+        self._raw_sum = 0
+        # group index -> (kernel_name, kernel_id, row, invocation_id)
+        self._picks: dict[int, tuple[str, int, int, int]] = {}
+        self._fallback: tuple[str, int, int, int] | None = None
+        self._fallback_emitted = False
+
+    def _observe(self, chunk, rows: np.ndarray | None) -> None:
+        n = len(chunk)
+        if n == 0:
+            return
+        if not self._saw_chunk:
+            self._workload = chunk.workload
+            self._saw_chunk = True
+        if rows is None:
+            global_rows = np.arange(self.rows_seen, self.rows_seen + n,
+                                    dtype=np.int64)
+        else:
+            global_rows = rows
+        self._raw_sum += int(chunk.insn_count.sum())
+        zero = np.flatnonzero(global_rows == 0)
+        if len(zero) and self._fallback is None:
+            i = int(zero[0])
+            self._fallback = (
+                chunk.kernel_name_of_row(i),
+                int(chunk.kernel_id[i]),
+                0,
+                int(chunk.invocation_id[i]),
+            )
+            if self.context.collect_events and self.offset > 0 and not self._picks:
+                # Provisional: stands until (unless) a grid pick arrives.
+                self._record(
+                    "emit",
+                    group="period0",
+                    kernel_name=self._fallback[0],
+                    row=0,
+                    invocation_id=self._fallback[3],
+                    weight=1.0,
+                )
+                self._fallback_emitted = True
+        hits = np.flatnonzero(
+            (global_rows >= self.offset)
+            & ((global_rows - self.offset) % self.period == 0)
+        )
+        for i in hits:
+            i = int(i)
+            row = int(global_rows[i])
+            group = (row - self.offset) // self.period
+            if self._fallback_emitted:
+                self._record(
+                    "retract",
+                    group="period0",
+                    kernel_name=self._fallback[0],
+                    row=0,
+                    invocation_id=self._fallback[3],
+                    weight=1.0,
+                )
+                self._fallback_emitted = False
+            pick = (
+                chunk.kernel_name_of_row(i),
+                int(chunk.kernel_id[i]),
+                row,
+                int(chunk.invocation_id[i]),
+            )
+            self._picks[group] = pick
+            if self.context.collect_events:
+                self._record(
+                    "emit",
+                    group=f"period{group}",
+                    kernel_name=pick[0],
+                    row=row,
+                    invocation_id=pick[3],
+                    weight=0.0,  # 1/len(picks) only known at finalize
+                )
+
+    def _finalize(self) -> SampleSelection:
+        require(
+            self.rows_seen > 0, "stream observed no invocations", StreamingError
+        )
+        if self._picks:
+            ordered = [self._picks[g] for g in sorted(self._picks)]
+            groups = sorted(self._picks)
+        else:
+            require(
+                self._fallback is not None,
+                "feed never delivered row 0; periodic fallback is undefined",
+                StreamingError,
+            )
+            ordered = [self._fallback]
+            groups = [0]
+        weight = 1.0 / len(ordered)
+        representatives = tuple(
+            Representative(
+                kernel_name=name,
+                kernel_id=kernel_id,
+                invocation_id=invocation_id,
+                row=row,
+                weight=weight,
+                group=f"period{i}",
+                group_size=min(self.period, self.rows_seen),
+            )
+            for i, (name, kernel_id, row, invocation_id) in zip(groups, ordered)
+        )
+        return SampleSelection(
+            workload=self._workload,
+            method="periodic",
+            representatives=representatives,
+            total_instructions=self._raw_sum,
+            num_invocations=self.rows_seen,
+        )

@@ -163,6 +163,12 @@ class ServiceUnavailableError(ServiceError):
     http_status = 503
 
 
+class StreamingError(SieveError):
+    """The incremental sampling surface was misused (a feed that cannot
+    satisfy the method's requirements, observe after finalize, a
+    buffering fallback asked for context it was never given)."""
+
+
 class FuzzError(SieveError):
     """The fuzzing campaign was misconfigured or hit an invariant failure
     (bad budget, mutation producing an unconstructible spec)."""

@@ -1,0 +1,128 @@
+"""Emit/retract event-ledger semantics for the incremental operators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.periodic import PeriodicSampler
+from repro.core.config import SieveConfig
+from repro.evaluation.context import build_context
+from repro.methods import get_method
+from repro.streaming.base import StreamContext, iter_table_chunks
+
+
+@pytest.fixture(scope="module")
+def table():
+    return build_context("cactus/lmc", max_invocations=2000).sieve_table
+
+
+def replay(events) -> dict[str, tuple[int, int]]:
+    """Apply the ledger in sequence order: group -> live (row, inv)."""
+    live: dict[str, tuple[int, int]] = {}
+    for event in events:
+        if event.kind == "emit":
+            live[event.group] = (event.row, event.invocation_id)
+        else:
+            assert event.kind == "retract"
+            assert event.group in live, "retract of a group never emitted"
+            del live[event.group]
+    return live
+
+
+def test_sieve_ledger_replays_to_the_final_selection(table):
+    stream = get_method("sieve").begin_stream(
+        StreamContext(workload=table.workload, collect_events=True),
+        SieveConfig(),
+    )
+    events = []
+    for chunk in iter_table_chunks(table, 257):
+        events.extend(stream.observe(chunk))
+    selection = stream.finalize()
+    events = list(stream.events)  # includes finalize's reconciliation
+    assert [e.seq for e in events] == list(range(len(events)))
+    live = replay(events)
+    want = {
+        rep.group: (rep.row, rep.invocation_id)
+        for rep in selection.representatives
+    }
+    assert live == want
+
+
+def test_sieve_emits_eagerly_and_retracts_on_changes(table):
+    stream = get_method("sieve").begin_stream(
+        StreamContext(workload=table.workload, collect_events=True),
+        SieveConfig(),
+    )
+    first_chunk_events = stream.observe(table.slice_rows(0, 400))
+    assert first_chunk_events, "first chunk must surface provisional picks"
+    assert all(e.kind == "emit" for e in first_chunk_events[:1])
+    for chunk in iter_table_chunks(table.slice_rows(400, len(table)), 400):
+        stream.observe(chunk, rows=None)
+    stream.finalize()
+    kinds = {e.kind for e in stream.events}
+    assert kinds <= {"emit", "retract"}
+    # Provisional picks moved as more of the stream arrived.
+    assert any(e.kind == "retract" for e in stream.events)
+
+
+def test_sieve_events_off_by_default(table):
+    stream = get_method("sieve").begin_stream(
+        StreamContext(workload=table.workload), SieveConfig()
+    )
+    for chunk in iter_table_chunks(table, 500):
+        assert stream.observe(chunk) == []
+    stream.finalize()
+    assert stream.events == []
+
+
+def test_periodic_provisional_fallback_is_retracted(table):
+    """With an offset, row 0 is emitted provisionally (the batch fallback
+    pick) and retracted the moment a real grid pick lands."""
+    config = PeriodicSampler(period=50, offset=10)
+    stream = get_method("periodic").begin_stream(
+        StreamContext(workload=table.workload, collect_events=True), config
+    )
+    for chunk in iter_table_chunks(table, 7):
+        stream.observe(chunk)
+    selection = stream.finalize()
+    events = stream.events
+    assert events[0].kind == "emit" and events[0].group == "period0"
+    assert events[0].row == 0
+    retracts = [e for e in events if e.kind == "retract"]
+    assert retracts and retracts[0].group == "period0"
+    live = replay(events)
+    want = {
+        rep.group: (rep.row, rep.invocation_id)
+        for rep in selection.representatives
+    }
+    assert live == want
+
+
+def test_periodic_without_grid_hits_keeps_the_fallback():
+    table = build_context("cactus/gru", max_invocations=30).sieve_table
+    config = PeriodicSampler(period=10_000, offset=100)
+    stream = get_method("periodic").begin_stream(
+        StreamContext(workload=table.workload, collect_events=True), config
+    )
+    stream.observe(table)
+    selection = stream.finalize()
+    assert len(selection.representatives) == 1
+    assert selection.representatives[0].row == 0
+    live = replay(stream.events)
+    assert live == {"period0": (0, int(table.invocation_id[0]))}
+
+
+def test_event_weights_are_estimates_rows_seen_monotone(table):
+    stream = get_method("sieve").begin_stream(
+        StreamContext(workload=table.workload, collect_events=True),
+        SieveConfig(),
+    )
+    for chunk in iter_table_chunks(table, 300):
+        stream.observe(chunk)
+    stream.finalize()
+    positions = [e.rows_seen for e in stream.events]
+    assert positions == sorted(positions)
+    emitted = [e for e in stream.events if e.kind == "emit"]
+    assert all(0.0 <= e.weight <= 1.0 for e in emitted)
+    assert all(np.isfinite(e.weight) for e in emitted)

@@ -1,0 +1,175 @@
+"""StreamingStratifier parity: incremental strata == batch strata."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import SieveConfig
+from repro.core.stratify import stratify_table
+from repro.streaming.base import iter_table_chunks
+from repro.streaming.stratify import StreamingStratifier
+from repro.utils.errors import StreamingError
+from tests.conftest import make_spec
+
+
+@pytest.fixture(scope="module")
+def table():
+    from repro.evaluation.context import build_context
+
+    return build_context("cactus/lmc", max_invocations=2500).sieve_table
+
+
+def assert_strata_identical(got, want):
+    assert len(got) == len(want)
+    for a, b in zip(got, want):
+        assert (a.kernel_id, a.kernel_name, a.tier, a.index) == (
+            b.kernel_id, b.kernel_name, b.tier, b.index,
+        )
+        np.testing.assert_array_equal(a.rows, b.rows)
+        assert a.insn_total == b.insn_total
+        assert a.insn_cov == b.insn_cov  # bit-identical, not just close
+
+
+def test_single_observe_equals_batch(table):
+    config = SieveConfig()
+    stratifier = StreamingStratifier(table.workload, config)
+    stratifier.observe(table)
+    assert_strata_identical(
+        stratifier.finalize().strata, stratify_table(table, config)
+    )
+
+
+@pytest.mark.parametrize("chunk_rows", [1, 17, 256, 1024, 10_000])
+def test_chunked_observe_equals_batch(table, chunk_rows):
+    config = SieveConfig()
+    stratifier = StreamingStratifier(table.workload, config)
+    for chunk in iter_table_chunks(table, chunk_rows):
+        stratifier.observe(chunk)
+    assert_strata_identical(
+        stratifier.finalize().strata, stratify_table(table, config)
+    )
+
+
+def test_interleaved_kernel_chunks_equal_batch(table):
+    """Chunks cut across kernels (explicit global rows, within-kernel
+    order preserved) still finalize to the batch strata."""
+    config = SieveConfig()
+    even = np.flatnonzero(np.asarray(table.kernel_id) % 2 == 0)
+    odd = np.flatnonzero(np.asarray(table.kernel_id) % 2 == 1)
+    stratifier = StreamingStratifier(table.workload, config)
+    # Feed odd-kernel rows first: arrival order across kernels differs
+    # from the table, but each kernel still sees its rows chronologically.
+    for rows in (odd, even):
+        chunk = table.slice_rows(0, len(table))
+        sub = type(table)(
+            workload=table.workload,
+            kernel_names=table.kernel_names,
+            kernel_id=chunk.kernel_id[rows],
+            invocation_id=chunk.invocation_id[rows],
+            insn_count=chunk.insn_count[rows],
+            cta_size=chunk.cta_size[rows],
+            num_ctas=chunk.num_ctas[rows],
+        )
+        stratifier.observe(sub, rows=rows.astype(np.int64))
+    assert_strata_identical(
+        stratifier.finalize().strata, stratify_table(table, config)
+    )
+
+
+def test_empty_chunk_is_a_no_op(table):
+    config = SieveConfig()
+    stratifier = StreamingStratifier(table.workload, config)
+    assert stratifier.observe(table.slice_rows(0, 0)) == []
+    stratifier.observe(table)
+    assert_strata_identical(
+        stratifier.finalize().strata, stratify_table(table, config)
+    )
+
+
+def test_bounded_reservoir_keeps_complete_kernels_exact():
+    """With a bound that only some kernels exceed, the complete kernels'
+    strata stay byte-identical to batch and the evicted ones keep exact
+    tier assignment, population and instruction totals."""
+    from repro.evaluation.context import build_context
+
+    spec = make_spec(name="bounded", num_kernels=6, num_invocations=1800)
+    table = build_context(spec.label, spec=spec).sieve_table
+    config = SieveConfig()
+    capacity = 150  # some kernels hold more rows than this
+    stratifier = StreamingStratifier(table.workload, config, reservoir_rows=capacity)
+    for chunk in iter_table_chunks(table, 200):
+        stratifier.observe(chunk)
+    finalized = stratifier.finalize()
+    batch = stratify_table(table, config)
+    assert stratifier.resident_rows <= capacity * table.num_kernels
+
+    batch_by_kernel: dict[int, list] = {}
+    for stratum in batch:
+        batch_by_kernel.setdefault(stratum.kernel_id, []).append(stratum)
+    got_by_kernel: dict[int, list] = {}
+    for stratum, member in zip(finalized.strata, finalized.members):
+        got_by_kernel.setdefault(stratum.kernel_id, []).append((stratum, member))
+
+    assert set(got_by_kernel) == set(batch_by_kernel)
+    for kernel_id, pairs in got_by_kernel.items():
+        want = batch_by_kernel[kernel_id]
+        population = sum(len(s.rows) for s in want)
+        kernel_total = sum(s.insn_total for s in want)
+        if all(member.complete for _, member in pairs):
+            assert_strata_identical([s for s, _ in pairs], want)
+        else:
+            # Evicted: same tier family, exact population bookkeeping.
+            assert {s.tier for s, _ in pairs} == {s.tier for s in want}
+            for _, member in pairs:
+                assert member.population == population
+            assert sum(s.insn_total for s, _ in pairs) <= kernel_total
+
+
+def test_exact_picks_survive_eviction():
+    from repro.evaluation.context import build_context
+
+    spec = make_spec(name="picks", num_kernels=4, num_invocations=1600,
+                     tier_fractions=(0.5, 0.5, 0.0))
+    table = build_context(spec.label, spec=spec).sieve_table
+    stratifier = StreamingStratifier(table.workload, SieveConfig(), reservoir_rows=64)
+    for chunk in iter_table_chunks(table, 123):
+        stratifier.observe(chunk)
+    for kernel_id in range(table.num_kernels):
+        rows = table.rows_for_kernel(kernel_id)
+        slot = stratifier.slot_of(table.kernel_names[kernel_id])
+        assert slot is not None
+        first = stratifier.exact_pick(slot, "first")
+        assert first == (int(rows[0]), int(table.invocation_id[rows[0]]))
+        cta = np.asarray(table.cta_size)[rows]
+        sizes, counts = np.unique(cta, return_counts=True)
+        dominant = int(sizes[np.argmax(counts)])
+        pick = stratifier.exact_pick(slot, "dominant_cta")
+        assert pick is not None
+        picked_row = pick[0]
+        assert int(np.asarray(table.cta_size)[picked_row]) == dominant
+        assert picked_row == int(rows[cta == dominant][0])
+
+
+def test_finalizing_nothing_yields_no_strata():
+    stratifier = StreamingStratifier("empty", SieveConfig())
+    finalized = stratifier.finalize()
+    assert finalized.strata == []
+
+
+def test_theta_must_be_positive():
+    with pytest.raises(Exception):
+        StreamingStratifier("wl", SieveConfig(theta=0.0))
+
+
+def test_misaligned_explicit_rows_rejected_by_streams(table):
+    """MethodStream.observe validates explicit rows align with the chunk."""
+    from repro.methods import get_method
+    from repro.streaming.base import StreamContext
+
+    stream = get_method("sieve").begin_stream(
+        StreamContext(workload=table.workload)
+    )
+    chunk = table.slice_rows(0, 10)
+    with pytest.raises(StreamingError):
+        stream.observe(chunk, rows=np.arange(5, dtype=np.int64))

@@ -1,0 +1,111 @@
+"""Segments edge cases: empty input, one group, ties, singleton segments."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.utils.segments import Segments
+
+
+def test_empty_key_yields_zero_segments():
+    segments = Segments.group_by(np.empty(0, dtype=np.int64))
+    assert len(segments) == 0
+    assert len(segments.order) == 0
+    assert len(segments.keys) == 0
+    assert len(segments.ends) == 0
+    assert len(segments.segment_of_position) == 0
+
+
+def test_empty_segments_reduce_to_empty_arrays():
+    segments = Segments.group_by(np.empty(0, dtype=np.int64))
+    empty = np.empty(0, dtype=np.int64)
+    assert len(segments.sums(empty)) == 0
+    assert len(segments.mins(empty)) == 0
+    assert len(segments.maxs(empty)) == 0
+    assert len(segments.covs(empty)) == 0
+
+
+def test_single_group_covers_all_rows_in_order():
+    key = np.zeros(9, dtype=np.int64)
+    segments = Segments.group_by(key)
+    assert len(segments) == 1
+    np.testing.assert_array_equal(segments.keys, [0])
+    np.testing.assert_array_equal(segments.counts, [9])
+    np.testing.assert_array_equal(segments.rows(0), np.arange(9))
+
+
+def test_all_equal_sort_keys_keep_chronological_order():
+    """The stable sort must not shuffle ties: with one shared key the
+    gathered values are exactly the input order."""
+    values = np.array([5, 3, 9, 1, 7], dtype=np.int64)
+    segments = Segments.group_by(np.full(5, 42, dtype=np.int64))
+    np.testing.assert_array_equal(segments.gather(values), values)
+    assert int(segments.sums(segments.gather(values))[0]) == int(values.sum())
+
+
+def test_single_row_segments_reduce_to_the_row_itself():
+    key = np.array([3, 1, 2, 0], dtype=np.int64)
+    values = np.array([30, 10, 20, 0], dtype=np.int64)
+    segments = Segments.group_by(key)
+    np.testing.assert_array_equal(segments.keys, [0, 1, 2, 3])
+    np.testing.assert_array_equal(segments.counts, [1, 1, 1, 1])
+    sorted_values = segments.gather(values)
+    np.testing.assert_array_equal(segments.sums(sorted_values), [0, 10, 20, 30])
+    np.testing.assert_array_equal(segments.mins(sorted_values), [0, 10, 20, 30])
+    np.testing.assert_array_equal(segments.maxs(sorted_values), [0, 10, 20, 30])
+
+
+def test_single_row_groups_have_zero_dispersion():
+    key = np.array([0, 1, 1, 2], dtype=np.int64)
+    values = np.array([7, 4, 8, 9], dtype=np.int64)
+    segments = Segments.group_by(key)
+    covs = segments.covs(segments.gather(values))
+    assert covs[0] == 0.0  # singleton
+    assert covs[2] == 0.0  # singleton
+    assert covs[1] > 0.0
+
+
+def test_all_zero_group_has_zero_cov():
+    segments = Segments.group_by(np.zeros(4, dtype=np.int64))
+    covs = segments.covs(np.zeros(4, dtype=np.float64))
+    np.testing.assert_array_equal(covs, [0.0])
+
+
+def test_absent_keys_do_not_appear():
+    key = np.array([10, 10, 50], dtype=np.int64)
+    segments = Segments.group_by(key)
+    np.testing.assert_array_equal(segments.keys, [10, 50])
+    np.testing.assert_array_equal(segments.counts, [2, 1])
+
+
+def test_segment_of_position_labels_every_row():
+    key = np.array([2, 0, 2, 1, 0], dtype=np.int64)
+    segments = Segments.group_by(key)
+    labels = segments.segment_of_position
+    sorted_keys = np.asarray(key)[segments.order]
+    np.testing.assert_array_equal(segments.keys[labels], sorted_keys)
+
+
+def test_first_positions_picks_first_chronological_match():
+    key = np.array([0, 0, 0, 1, 1], dtype=np.int64)
+    segments = Segments.group_by(key)
+    mask = np.array([False, True, True, True, False])
+    picks = segments.first_positions(mask)
+    np.testing.assert_array_equal(picks, [1, 3])
+
+
+def test_first_positions_on_singleton_segments():
+    segments = Segments.group_by(np.array([4, 2, 9], dtype=np.int64))
+    picks = segments.first_positions(np.ones(3, dtype=bool))
+    np.testing.assert_array_equal(picks, [0, 1, 2])
+
+
+@pytest.mark.parametrize("n", [1, 2, 13])
+def test_group_by_partitions_all_rows(n):
+    rng = np.random.default_rng(n)
+    key = rng.integers(0, 4, n)
+    segments = Segments.group_by(key)
+    assert int(segments.counts.sum()) == n
+    seen = np.concatenate([segments.rows(i) for i in range(len(segments))])
+    np.testing.assert_array_equal(np.sort(seen), np.arange(n))
