@@ -146,6 +146,12 @@ def write_bench_manifest(
     )
     path = manifest.save(Path(directory) / f"BENCH_{figure}.json")
     emit(f"manifest: {path}")
+    # Record the run into the performance version store when
+    # SIEVE_PERFSTORE_DIR is set (each repeat becomes one sample for the
+    # statistical regression gate; failures degrade to diagnostics).
+    from repro.perfstore.store import maybe_record
+
+    maybe_record(manifest, figure=figure)
     window = obs_spans.records()[since:]
     if window:
         trace_path = write_chrome_trace(Path(directory) / f"TRACE_{figure}.json", window)

@@ -31,9 +31,19 @@ run N times (each writing ``BENCH_<figure>.json``, then
 fields always come from the first run, which repeats must reproduce
 exactly anyway. The CI ``scale-bench`` job uses ``--repeat 3``.
 
-``--self-test`` proves the gate has teeth: it synthesizes a current run
-that is 2x slower than the baseline and exits 0 only if the checker
-flags it.
+``--store DIR`` switches the gate onto the performance version store:
+every repeat run is ingested *unreduced* under the current commit and
+the gate becomes statistical (Mann-Whitney rank test + practical floor
+over the run distributions) instead of a single-sample ratio check. The
+baseline comes from ``--against REV`` (or the newest other stored
+version) in ``--baseline-store`` (default: the same store), falling back
+to the committed ``benchmarks/baselines/`` manifest when the store has
+nothing to offer.
+
+``--self-test`` proves the gate has teeth on both paths: it synthesizes
+a current run 2x slower than the baseline and exits 0 only if the
+checker flags it, and it checks the statistical gate flags a 2x-slower
+trio of runs while letting a same-distribution trio pass.
 """
 
 from __future__ import annotations
@@ -44,7 +54,11 @@ import statistics
 import sys
 from pathlib import Path
 
-from repro.observability.manifest import RunManifest, diff_manifests
+from repro.observability.manifest import (
+    RunManifest,
+    diff_manifests,
+    regression_failures,
+)
 from repro.observability.report import render_diff
 
 BASELINE_DIR = Path(__file__).resolve().parent.parent / "benchmarks/baselines"
@@ -140,7 +154,100 @@ def _check(args) -> int:
         print(f"=== {figure} ===")
         print(render_diff(baseline, current, regressions))
         print()
-        if regressions:
+        if regression_failures(regressions):
+            failures += 1
+    if failures:
+        print(f"FAIL: {failures} figure(s) regressed or missing")
+        return 1
+    print(f"OK: {len(args.figures)} figure(s) within tolerance")
+    return 0
+
+
+def _current_runs(args, figure: str) -> list[RunManifest]:
+    """All current repeat manifests for ``figure``, unreduced."""
+    runs = []
+    for path in _repeat_paths(args.current_dir, figure, max(args.repeat, 1)):
+        if not path.exists():
+            break
+        runs.append(RunManifest.load(path))
+    return runs
+
+
+def _check_store(args) -> int:
+    """Statistical gate: ingest the repeats, compare run distributions."""
+    from repro.perfstore import (
+        PerfStore,
+        current_version,
+        gate_manifests,
+        render_gate_report,
+    )
+    from repro.utils.errors import PerfStoreError
+
+    store = PerfStore(args.store)
+    baseline_store = (
+        PerfStore(args.baseline_store) if args.baseline_store else store
+    )
+    version = current_version()
+    failures = 0
+    for figure in args.figures:
+        runs = _current_runs(args, figure)
+        if not runs:
+            print(f"[{figure}] no current manifest in {args.current_dir}; "
+                  f"did the bench run with SIEVE_BENCH_MANIFEST_DIR set?")
+            failures += 1
+            continue
+        for manifest in runs:
+            store.ingest(manifest, figure=figure, version=version)
+        print(f"[{figure}] recorded {len(runs)} run(s) for "
+              f"{version[:12]} into {store.root}")
+
+        baseline_runs: list[RunManifest] = []
+        label = ""
+        if args.against:
+            try:
+                rev = baseline_store.resolve(args.against)
+                baseline_runs = [
+                    run.manifest for run in baseline_store.runs(rev, figure)
+                ]
+                label = rev[:12]
+            except PerfStoreError as exc:
+                print(f"[{figure}] {exc}")
+        else:
+            for rev in reversed(baseline_store.versions()):
+                if rev == version or figure not in baseline_store.figures(rev):
+                    continue
+                baseline_runs = [
+                    run.manifest for run in baseline_store.runs(rev, figure)
+                ]
+                label = rev[:12]
+                break
+        if not baseline_runs:
+            fallback = _load(args.baseline_dir, figure)
+            if fallback is None:
+                print(f"[{figure}] no stored baseline and no committed "
+                      f"manifest in {args.baseline_dir}")
+                failures += 1
+                continue
+            print(f"[{figure}] no stored baseline; falling back to the "
+                  f"committed single-sample manifest")
+            baseline_runs = [fallback]
+            label = str(args.baseline_dir / f"BENCH_{figure}.json")
+
+        report = gate_manifests(
+            baseline_runs,
+            runs,
+            alpha=args.alpha,
+            min_ratio=args.min_ratio,
+            min_seconds=args.min_seconds,
+            fallback_slowdown=args.max_slowdown,
+            baseline_label=label,
+            current_label=version[:12],
+            figure=figure,
+        )
+        print(f"=== {figure} ===")
+        print(render_gate_report(report))
+        print()
+        if report.regressed:
             failures += 1
     if failures:
         print(f"FAIL: {failures} figure(s) regressed or missing")
@@ -179,8 +286,22 @@ def _slowed(manifest: RunManifest, factor: float) -> RunManifest:
     )
 
 
+#: Deterministic ±3% run-to-run jitter for the statistical self-test:
+#: two samples drawn from "the same machine on a good day".
+_BASE_JITTER = (0.97, 1.00, 1.03)
+_RERUN_JITTER = (0.98, 1.01, 1.02)
+
+
 def _self_test(args) -> int:
-    """The gate must flag an injected 2x slowdown on every baseline."""
+    """The gate must flag an injected 2x slowdown on every baseline.
+
+    Two paths per figure: the legacy single-sample ratio diff, and the
+    statistical gate — three jittered baseline runs vs three 2x-slower
+    runs must regress, while three differently-jittered same-speed runs
+    must not.
+    """
+    from repro.perfstore import gate_manifests
+
     tested = 0
     for figure in args.figures:
         baseline = _load(args.baseline_dir, figure)
@@ -193,12 +314,36 @@ def _self_test(args) -> int:
             max_slowdown=args.max_slowdown,
             min_seconds=args.min_seconds,
         )
-        slowdowns = [r for r in regressions if r.kind in ("total-wall", "stage-wall")]
+        slowdowns = [
+            r
+            for r in regression_failures(regressions)
+            if r.kind in ("total-wall", "stage-wall")
+        ]
         if not slowdowns:
             print(f"[{figure}] SELF-TEST FAILED: 2x slowdown not detected")
             return 1
         print(f"[{figure}] self-test OK: 2x slowdown raised "
               f"{len(slowdowns)} wall-time regression(s)")
+
+        base_runs = [_slowed(baseline, f) for f in _BASE_JITTER]
+        slow_runs = [_slowed(baseline, 2.0 * f) for f in _RERUN_JITTER]
+        rerun_runs = [_slowed(baseline, f) for f in _RERUN_JITTER]
+        flagged = gate_manifests(
+            base_runs, slow_runs, min_seconds=args.min_seconds, figure=figure
+        )
+        if not flagged.regressed:
+            print(f"[{figure}] SELF-TEST FAILED: statistical gate missed a "
+                  f"2x slowdown over 3 runs")
+            return 1
+        clean = gate_manifests(
+            base_runs, rerun_runs, min_seconds=args.min_seconds, figure=figure
+        )
+        if clean.regressed:
+            print(f"[{figure}] SELF-TEST FAILED: statistical gate flagged "
+                  f"same-distribution reruns")
+            return 1
+        print(f"[{figure}] self-test OK: statistical gate flags 2x over 3 "
+              f"runs and passes jittered reruns")
         tested += 1
     print(f"OK: gate detects slowdowns on {tested} figure(s)")
     return 0
@@ -243,7 +388,32 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "--self-test", action="store_true",
-        help="verify the gate flags a synthetic 2x slowdown of the baseline",
+        help="verify the gate flags a synthetic 2x slowdown of the baseline "
+        "(single-sample and statistical paths)",
+    )
+    parser.add_argument(
+        "--store", type=Path, default=None,
+        help="performance store directory: ingest every repeat run "
+        "unreduced under the current commit and gate statistically",
+    )
+    parser.add_argument(
+        "--baseline-store", type=Path, default=None,
+        help="store to resolve the baseline from (default: --store; e.g. "
+        "the committed benchmarks/perfstore snapshot)",
+    )
+    parser.add_argument(
+        "--against", default=None,
+        help="baseline revision in the baseline store (default: newest "
+        "stored version other than the current one)",
+    )
+    parser.add_argument(
+        "--alpha", type=float, default=0.05,
+        help="rank-test significance level for --store mode (default 0.05)",
+    )
+    parser.add_argument(
+        "--min-ratio", type=float, default=1.10,
+        help="practical median-slowdown floor for --store mode "
+        "(default 1.10)",
     )
     args = parser.parse_args(argv)
     if args.self_test:
@@ -252,6 +422,8 @@ def main(argv: list[str] | None = None) -> int:
         parser.error("--current-dir is required unless --self-test")
     if args.write_baseline:
         return _write_baseline(args)
+    if args.store is not None:
+        return _check_store(args)
     return _check(args)
 
 

@@ -248,19 +248,25 @@ def write_manifest(report: ScaleReport, mark: tuple[int, int, float, float]):
     if not directory:
         return None
     since, events_since, wall_start, cpu_start = mark
+    # Measured speedups are informational, and they ride as an event
+    # rather than config keys: the perfstore fingerprints ``config`` to
+    # group runs of the same experiment *shape*, so run-varying
+    # measurements in it would split every repeat into its own group.
+    # The >=5x criterion is enforced by this script's own assertion.
+    obs_manifest.record_event(
+        "scale.speedups",
+        path_speedup=round(report.path_speedup, 2),
+        **{
+            f"{stage}_speedup": round(report.speedup(stage), 2)
+            for stage in PATH_STAGES
+        },
+    )
     manifest = obs_manifest.collect_manifest(
         "bench scale",
         config={
             "kernels": report.kernels,
             "cap": report.cap,
             "repeats": report.repeats,
-            # Informational only: the differ ignores ``config``; the
-            # >=5x criterion is enforced by this script's own assertion.
-            "path_speedup": round(report.path_speedup, 2),
-            **{
-                f"{stage}_speedup": round(report.speedup(stage), 2)
-                for stage in PATH_STAGES
-            },
         },
         workloads=[
             {
@@ -283,6 +289,9 @@ def write_manifest(report: ScaleReport, mark: tuple[int, int, float, float]):
         total_cpu_s=time.process_time() - cpu_start,
     )
     path = manifest.save(Path(directory) / "BENCH_scale.json")
+    from repro.perfstore.store import maybe_record
+
+    maybe_record(manifest, figure="scale")
     window = obs_spans.records()[since:]
     if window:
         from repro.observability.export import write_chrome_trace

@@ -139,8 +139,12 @@ def main(argv: list[str] | None = None) -> int:
     print(f"/v1/metrics: {families} families, exposition valid")
 
     args.out.mkdir(parents=True, exist_ok=True)
-    path = report.to_manifest().save(args.out / "BENCH_service.json")
+    manifest = report.to_manifest()
+    path = manifest.save(args.out / "BENCH_service.json")
     print(f"manifest: {path}")
+    from repro.perfstore.store import maybe_record
+
+    maybe_record(manifest, figure="service")
 
     failures = []
     if summary["http_5xx"] or summary["other"]:

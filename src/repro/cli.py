@@ -567,21 +567,163 @@ def _cmd_compare(args) -> None:
 
 
 def _cmd_report(args) -> int:
-    """Render run manifests; diff exactly two and gate on regressions."""
-    from repro.observability.manifest import RunManifest, diff_manifests
+    """Render run manifests; diff exactly two and gate on regressions.
+
+    With ``--against <rev>`` the baseline comes from the performance
+    version store instead: every stored run of that revision is compared
+    statistically against the given manifest(s).
+    """
+    from repro.observability.manifest import (
+        RunManifest,
+        diff_manifests,
+        regression_failures,
+    )
     from repro.observability.report import render_diff, render_manifest
 
     manifests = [RunManifest.load(path) for path in args.manifests]
+    if args.against:
+        return _report_against(args, manifests)
     if len(manifests) == 2:
         regressions = diff_manifests(
             manifests[0], manifests[1], max_slowdown=args.max_slowdown
         )
         print(render_diff(manifests[0], manifests[1], regressions))
-        return 1 if regressions else 0
+        return 1 if regression_failures(regressions) else 0
     for index, manifest in enumerate(manifests):
         if index:
             print()
         print(render_manifest(manifest))
+    return 0
+
+
+def _report_against(args, manifests) -> int:
+    """Statistical gate of the given manifests vs a stored revision."""
+    from pathlib import Path
+
+    from repro.observability.manifest import RunManifest
+    from repro.perfstore import (
+        PerfStore,
+        figure_from_command,
+        gate_manifests,
+        render_gate_report,
+        store_from_env,
+    )
+    from repro.utils.errors import PerfStoreError
+
+    figure = args.figure or figure_from_command(manifests[0].command)
+    store = PerfStore(args.store) if args.store else store_from_env()
+    baseline: list = []
+    label = args.against
+    try:
+        version = store.resolve(args.against)
+        baseline = [run.manifest for run in store.runs(version, figure)]
+        label = version[:12]
+    except PerfStoreError as exc:
+        diagnostics.emit("perfstore", str(exc), severity="info")
+    if not baseline:
+        fallback = Path("benchmarks/baselines") / f"BENCH_{figure}.json"
+        if not fallback.exists():
+            print(
+                f"error: revision {args.against!r} has no stored {figure} "
+                f"profile and no committed fallback at {fallback}",
+                file=sys.stderr,
+            )
+            return 2
+        diagnostics.emit(
+            "perfstore",
+            f"revision {args.against!r} has no stored {figure} profile; "
+            f"falling back to {fallback}",
+            severity="info",
+        )
+        baseline = [RunManifest.load(fallback)]
+        label = str(fallback)
+    report = gate_manifests(
+        baseline,
+        manifests,
+        alpha=args.alpha,
+        min_ratio=args.min_ratio,
+        min_seconds=args.min_seconds,
+        fallback_slowdown=args.max_slowdown,
+        baseline_label=label,
+        current_label=f"current ({len(manifests)} run(s))",
+        figure=figure,
+    )
+    print(render_gate_report(report, verbose=args.verbose))
+    return 1 if report.regressed else 0
+
+
+def _perf_store(args):
+    from repro.perfstore import PerfStore, store_from_env
+
+    return PerfStore(args.store) if args.store else store_from_env()
+
+
+def _cmd_perf(args) -> int:
+    """Inspect the performance version store (list/ingest/log/bisect-hint)."""
+    from repro.observability.manifest import RunManifest
+    from repro.perfstore import (
+        bisect_hint,
+        perf_log,
+        render_bisect_hint,
+        render_perf_log,
+    )
+
+    store = _perf_store(args)
+    if args.perf_command == "list":
+        rows = []
+        for version, figures in store.summary().items():
+            for figure, runs in sorted(figures.items()):
+                rows.append((version[:12], figure, runs))
+        if not rows:
+            print(f"(empty store at {store.root})")
+            return 0
+        print(format_table(["version", "figure", "runs"], rows))
+        return 0
+    if args.perf_command == "ingest":
+        for path in args.manifests:
+            receipt = store.ingest(
+                RunManifest.load(path),
+                figure=args.figure,
+                version=args.version,
+            )
+            dedup = "" if receipt.stored_object else " (object deduplicated)"
+            print(
+                f"ingested {path} as {receipt.figure} run {receipt.seq} of "
+                f"{receipt.version[:12]}{dedup}"
+            )
+        return 0
+    if args.perf_command == "log":
+        entries = perf_log(
+            store, args.figure, selector=args.metric, limit=args.limit
+        )
+        print(f"{args.figure} [{args.metric}] at {store.root}:")
+        print(render_perf_log(entries))
+        return 0
+    # bisect-hint
+    hint = bisect_hint(
+        store,
+        args.figure,
+        selector=args.metric,
+        alpha=args.alpha,
+        min_ratio=args.min_ratio,
+        min_abs=args.min_seconds,
+    )
+    print(render_bisect_hint(hint))
+    return 1 if hint["first_regression"] else 0
+
+
+def _cmd_fuzz_promote(args) -> int:
+    """Promote shrunk fuzz findings into the adversarial suite."""
+    from repro.perfstore import promote_findings, render_promotion
+
+    promoted = promote_findings(
+        args.findings,
+        engine=_engine(args),
+        catalog_path=args.catalog,
+        limit=args.limit,
+        min_score=args.min_score,
+    )
+    print(render_promotion(promoted))
     return 0
 
 
@@ -938,17 +1080,104 @@ def build_parser() -> argparse.ArgumentParser:
     report = sub.add_parser(
         "report",
         help="render run manifests; with exactly two, diff them and "
-        "exit 1 on regressions",
+        "exit 1 on regressions; with --against REV, gate statistically "
+        "against the performance store",
     )
     report.add_argument(
         "manifests", nargs="+",
-        help="manifest JSON file(s); two = baseline then current",
+        help="manifest JSON file(s); two = baseline then current; with "
+        "--against, all are repeated runs of the current code",
     )
     report.add_argument(
         "--max-slowdown", type=float, default=1.25,
-        help="per-stage wall-time ratio tolerated when diffing (default 1.25)",
+        help="per-stage wall-time ratio tolerated when diffing, and the "
+        "single-sample fallback limit for --against (default 1.25)",
+    )
+    report.add_argument(
+        "--against", metavar="REV", default=None,
+        help="gate the manifests against the stored runs of REV (commit "
+        "SHA, prefix or symbolic rev) from the performance store",
+    )
+    report.add_argument(
+        "--store", default=None,
+        help="performance store directory (default: $SIEVE_PERFSTORE_DIR "
+        "or ~/.cache/sieve-repro/perfstore)",
+    )
+    report.add_argument(
+        "--figure", default=None,
+        help="store figure key (default: inferred from the manifest command)",
+    )
+    report.add_argument(
+        "--alpha", type=float, default=0.05,
+        help="rank-test significance level for --against (default 0.05)",
+    )
+    report.add_argument(
+        "--min-ratio", type=float, default=1.10,
+        help="practical-significance floor: median slowdown ratio "
+        "(default 1.10)",
+    )
+    report.add_argument(
+        "--min-seconds", type=float, default=0.05,
+        help="practical-significance floor: absolute median slowdown "
+        "(default 0.05)",
+    )
+    report.add_argument(
+        "--verbose", action="store_true",
+        help="also list statistically indistinguishable metrics",
     )
     report.set_defaults(handler=_cmd_report)
+
+    perf = sub.add_parser(
+        "perf",
+        help="performance version store: list stored profiles, ingest "
+        "manifests, walk a metric's lineage, locate regressions",
+    )
+    perf_sub = perf.add_subparsers(dest="perf_command", required=True)
+    perf_list = perf_sub.add_parser(
+        "list", help="stored versions, figures and run counts"
+    )
+    perf_ingest = perf_sub.add_parser(
+        "ingest", help="record manifest file(s) into the store"
+    )
+    perf_ingest.add_argument("manifests", nargs="+",
+                             help="manifest JSON file(s) to ingest")
+    perf_ingest.add_argument(
+        "--figure", default=None,
+        help="figure key (default: inferred from each manifest's command)",
+    )
+    perf_ingest.add_argument(
+        "--version", default=None,
+        help="version to file the runs under (default: "
+        "$SIEVE_PERFSTORE_VERSION or git HEAD)",
+    )
+    perf_log_p = perf_sub.add_parser(
+        "log", help="one metric's distribution per stored version, oldest first"
+    )
+    perf_hint = perf_sub.add_parser(
+        "bisect-hint",
+        help="first version-to-version transition where the metric "
+        "regressed (exit 1 when one is found)",
+    )
+    for p in (perf_list, perf_ingest, perf_log_p, perf_hint):
+        p.add_argument(
+            "--store", default=None,
+            help="store directory (default: $SIEVE_PERFSTORE_DIR or "
+            "~/.cache/sieve-repro/perfstore)",
+        )
+    for p in (perf_log_p, perf_hint):
+        p.add_argument("--figure", default="fig3",
+                       help="store figure key (default fig3)")
+        p.add_argument(
+            "--metric", default="total",
+            help="metric selector: total, stage:<name>, agg:<key> or "
+            "workload:<name>.<key> (default total)",
+        )
+    perf_log_p.add_argument("--limit", type=int, default=0,
+                            help="newest N versions only (0 = all)")
+    perf_hint.add_argument("--alpha", type=float, default=0.05)
+    perf_hint.add_argument("--min-ratio", type=float, default=1.10)
+    perf_hint.add_argument("--min-seconds", type=float, default=0.02)
+    perf.set_defaults(handler=_cmd_perf)
 
     trace = sub.add_parser(
         "trace",
@@ -1091,7 +1320,31 @@ def build_parser() -> argparse.ArgumentParser:
     fuzz.add_argument("--verify-suite", action="store_true",
                       help="re-evaluate the committed adversarial suite "
                       "against its pinned errors and exit (1 on drift)")
-    fuzz.set_defaults(handler=_cmd_fuzz)
+    fuzz.set_defaults(handler=_cmd_fuzz, fuzz_command=None)
+    fuzz_sub = fuzz.add_subparsers(dest="fuzz_command", required=False)
+    promote = fuzz_sub.add_parser(
+        "promote",
+        help="promote a campaign's shrunk findings into the committed "
+        "adversarial suite (re-pins errors, records provenance)",
+    )
+    promote.add_argument(
+        "--findings", required=True,
+        help="findings.json written by a completed campaign",
+    )
+    promote.add_argument(
+        "--catalog", default=None,
+        help="promoted-catalog path (default: adversarial_promoted.json "
+        "next to the adversarial module, or $SIEVE_ADVERSARIAL_PROMOTED)",
+    )
+    promote.add_argument(
+        "--limit", type=int, default=0,
+        help="promote at most N findings, highest score first (0 = all)",
+    )
+    promote.add_argument(
+        "--min-score", type=float, default=0.0,
+        help="skip findings whose shrunk score is below this (default 0)",
+    )
+    promote.set_defaults(handler=_cmd_fuzz_promote)
 
     serve = sub.add_parser(
         "serve",
@@ -1228,6 +1481,11 @@ def _write_manifest(args, captured: list[dict]) -> None:
     )
     path = manifest.save(args.trace_out)
     print(f"[trace] manifest written to {path}", file=sys.stderr)
+    # Auto-record into the performance store when SIEVE_PERFSTORE_DIR is
+    # set — every traced run becomes a data point for the statistical gate.
+    from repro.perfstore.store import maybe_record
+
+    maybe_record(manifest)
 
 
 #: Global flags that consume the next token; the trace shim must skip

@@ -142,6 +142,17 @@ def _task_for(candidate: Candidate, config: FuzzConfig) -> EvaluationTask:
     )
 
 
+def _register_in_perfstore(kind: str, config: FuzzConfig, payload: dict) -> None:
+    """Attach a campaign artifact to the perf version store (env-gated).
+
+    No-op unless ``SIEVE_PERFSTORE_DIR`` is set; failures degrade to a
+    diagnostic — fuzz campaigns must never die on telemetry.
+    """
+    from repro.perfstore.store import maybe_attach
+
+    maybe_attach(kind, f"{config.seed}-{config.fingerprint()[:8]}", payload)
+
+
 def _atomic_write_json(path: Path, payload: dict) -> None:
     path.parent.mkdir(parents=True, exist_ok=True)
     fd, tmp = tempfile.mkstemp(dir=path.parent, prefix=".tmp-")
@@ -290,6 +301,17 @@ def run_campaign(
             obs_manifest.record_event(
                 "fuzz.campaign_paused", scored=len(scored), budget=config.budget
             )
+            _register_in_perfstore(
+                "fuzz-checkpoint",
+                config,
+                {
+                    "seed": config.seed,
+                    "fingerprint": config.fingerprint(),
+                    "scored": len(scored),
+                    "budget": config.budget,
+                    "checkpoint": str(checkpoint_path),
+                },
+            )
             return CampaignResult(
                 findings=[],
                 scored=len(scored),
@@ -383,6 +405,7 @@ def run_campaign(
             "findings": findings,
         }
         _atomic_write_json(findings_path, payload)
+        _register_in_perfstore("fuzz-findings", config, payload)
         obs_manifest.record_event(
             "fuzz.campaign_complete",
             scored=len(scored),

@@ -24,6 +24,7 @@ from repro.observability.manifest import (
     collect_manifest,
     diff_manifests,
     record_event,
+    regression_failures,
 )
 from repro.observability.metrics import MetricsRegistry, get_registry
 from repro.observability.spans import SpanRecord, capture_spans, span
@@ -43,6 +44,7 @@ __all__ = [
     "enabled",
     "get_registry",
     "record_event",
+    "regression_failures",
     "set_enabled",
     "span",
 ]

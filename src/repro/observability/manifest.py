@@ -307,16 +307,34 @@ def collect_manifest(
 
 @dataclass(frozen=True)
 class Regression:
-    """One baseline-vs-current deviation worth failing a build over."""
+    """One baseline-vs-current deviation the diff wants eyes on.
 
-    kind: str  # "total-wall" | "stage-wall" | "stage-missing" | "accuracy" | "aggregate"
+    ``severity`` separates build-failing deviations (``"fail"``) from
+    explicitly-reported-but-informational ones (``"info"``: a brand-new
+    stage, a wall measured against a zero baseline) — gates must count
+    only ``fail`` rows (see :func:`regression_failures`).
+    """
+
+    # "total-wall" | "stage-wall" | "stage-missing" | "stage-new"
+    # | "accuracy" | "aggregate"
+    kind: str
     name: str
     baseline: float
     current: float
     detail: str
+    severity: str = "fail"
+
+    @property
+    def failed(self) -> bool:
+        return self.severity == "fail"
 
     def __str__(self) -> str:
         return f"[{self.kind}] {self.name}: {self.detail}"
+
+
+def regression_failures(regressions: Iterable[Regression]) -> list[Regression]:
+    """The subset of a diff's rows that should gate a build."""
+    return [r for r in regressions if r.failed]
 
 
 def _accuracy_drifted(base: float, cur: float, atol: float, rtol: float) -> bool:
@@ -341,11 +359,35 @@ def diff_manifests(
     of matching per-workload rows and every shared aggregate key; the
     pipeline is seed-deterministic, so the tolerance only absorbs float
     reassociation, not algorithmic drift.
+
+    Stages that exist on only one side are reported explicitly: removed
+    stages as failing ``stage-missing`` rows (when they spent more than
+    ``min_seconds`` in the baseline), brand-new stages as informational
+    ``stage-new`` rows. A wall measured against a (near-)zero baseline
+    is likewise an informational row — no ratio is computed against
+    nothing — instead of a silent skip.
     """
     regressions: list[Regression] = []
+    # Below this, a baseline wall is "not measured" — a ratio against it
+    # would be noise amplified to millions of x.
+    zero_wall = 1e-6
 
     def check_wall(kind: str, name: str, base: float, cur: float) -> None:
-        if base <= 0.0:
+        if base <= zero_wall:
+            if cur > min_seconds:
+                regressions.append(
+                    Regression(
+                        kind=kind,
+                        name=name,
+                        baseline=base,
+                        current=cur,
+                        detail=(
+                            f"no usable baseline wall ({base:.3f}s); current "
+                            f"{cur:.3f}s is a new measurement, not a regression"
+                        ),
+                        severity="info",
+                    )
+                )
             return
         if cur > base * max_slowdown and cur - base > min_seconds:
             regressions.append(
@@ -363,6 +405,7 @@ def diff_manifests(
 
     check_wall("total-wall", "total", baseline.total_wall_s, current.total_wall_s)
     current_stages = {stage.name: stage for stage in current.stages}
+    baseline_names = {stage.name for stage in baseline.stages}
     for stage in baseline.stages:
         counterpart = current_stages.get(stage.name)
         if counterpart is None:
@@ -373,11 +416,29 @@ def diff_manifests(
                         name=stage.name,
                         baseline=stage.wall_s,
                         current=0.0,
-                        detail="stage present in baseline but absent from current run",
+                        detail=(
+                            f"stage removed: ran {stage.wall_s:.3f}s in baseline "
+                            "but never in current run"
+                        ),
                     )
                 )
             continue
         check_wall("stage-wall", stage.name, stage.wall_s, counterpart.wall_s)
+    for stage in current.stages:
+        if stage.name not in baseline_names and stage.wall_s > min_seconds:
+            regressions.append(
+                Regression(
+                    kind="stage-new",
+                    name=stage.name,
+                    baseline=0.0,
+                    current=stage.wall_s,
+                    detail=(
+                        f"new stage: {stage.wall_s:.3f}s in current run, absent "
+                        "from baseline — no history to regress against"
+                    ),
+                    severity="info",
+                )
+            )
 
     current_rows = {row.get("workload"): row for row in current.workloads}
     for row in baseline.workloads:

@@ -186,8 +186,17 @@ def render_diff(
     current: RunManifest,
     regressions: list[Regression],
 ) -> str:
-    """Two manifests side by side, regressions flagged and listed."""
-    flagged = {r.name for r in regressions if r.kind in ("stage-wall", "stage-missing")}
+    """Two manifests side by side, regressions flagged and listed.
+
+    Failing rows list as regressions; informational rows (new stages,
+    walls with no usable baseline) list separately as notes so they are
+    explicit without implying a broken build.
+    """
+    flagged = {
+        r.name
+        for r in regressions
+        if r.kind in ("stage-wall", "stage-missing") and r.failed
+    }
     current_stages = {stage.name: stage for stage in current.stages}
     rows = []
     for stage in sorted(baseline.stages, key=lambda s: s.wall_s, reverse=True):
@@ -218,11 +227,16 @@ def render_diff(
         format_table(["stage", "baseline", "current", "ratio", "flag"], rows),
         "",
     ]
-    if regressions:
-        lines.append(f"{len(regressions)} regression(s):")
-        lines.extend(f"  {regression}" for regression in regressions)
+    failures = [r for r in regressions if r.failed]
+    notes = [r for r in regressions if not r.failed]
+    if failures:
+        lines.append(f"{len(failures)} regression(s):")
+        lines.extend(f"  {regression}" for regression in failures)
     else:
         lines.append("no regressions.")
+    if notes:
+        lines.append(f"{len(notes)} note(s):")
+        lines.extend(f"  {note}" for note in notes)
 
     attribution = _diff_attribution(baseline, current)
     if attribution:

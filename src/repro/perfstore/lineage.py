@@ -1,0 +1,224 @@
+"""Walking stored versions: "when did stratify get slower?".
+
+The store keys runs by version (commit SHA); this module orders those
+versions — by git ancestry when a checkout is available, by first-ingest
+order otherwise — and answers two questions over that order:
+
+* :func:`perf_log` — a per-version table of one metric's distribution
+  (median, MAD, bootstrap CI), oldest first; and
+* :func:`bisect_hint` — the first version-to-version transition whose
+  degradation test says ``regressed``, i.e. the commit range a real
+  ``git bisect`` should start from.
+
+Metrics are named by *selector* strings shared with the CLI:
+``total`` (total wall), ``stage:<name>`` (a stage's wall),
+``agg:<key>`` (a numeric aggregate), ``workload:<name>.<key>``
+(a per-workload ``*_error`` field).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.observability.manifest import RunManifest
+from repro.perfstore.stats import degradation_test, summarize
+from repro.perfstore.store import PerfStore, _git
+from repro.utils.errors import PerfStoreError
+
+
+def parse_selector(selector: str) -> tuple[str, str]:
+    """Split a selector into ``(kind, argument)``; validates the kind."""
+    if selector == "total":
+        return "total", ""
+    for prefix in ("stage", "agg", "workload"):
+        if selector.startswith(prefix + ":"):
+            arg = selector[len(prefix) + 1 :]
+            if not arg:
+                raise PerfStoreError(f"empty {prefix} selector", selector=selector)
+            return prefix, arg
+    raise PerfStoreError(
+        "unknown metric selector (expected total, stage:<name>, agg:<key> "
+        "or workload:<name>.<key>)",
+        selector=selector,
+    )
+
+
+def extract_metric(manifest: RunManifest, selector: str) -> float | None:
+    """The selector's value in one run, or None when the run lacks it."""
+    kind, arg = parse_selector(selector)
+    if kind == "total":
+        return manifest.total_wall_s
+    if kind == "stage":
+        stage = manifest.stage(arg)
+        return stage.wall_s if stage is not None else None
+    if kind == "agg":
+        value = manifest.aggregates.get(arg)
+        return float(value) if isinstance(value, (int, float)) else None
+    workload, _, key = arg.partition(".")
+    if not key:
+        raise PerfStoreError(
+            "workload selector needs workload:<name>.<key>", selector=selector
+        )
+    for row in manifest.workloads:
+        if str(row.get("workload")) == workload:
+            value = row.get(key)
+            return float(value) if isinstance(value, (int, float)) else None
+    return None
+
+
+def version_order(store: PerfStore, figure: str | None = None) -> list[str]:
+    """Stored versions oldest-first: git topo order when resolvable,
+    first-ingest order for anything git does not know about."""
+    stored = [
+        v
+        for v in store.versions()
+        if figure is None or figure in store.figures(v)
+    ]
+    history = _git("rev-list", "--topo-order", "--reverse", "HEAD")
+    if not history:
+        return stored
+    ranked = {sha: i for i, sha in enumerate(history.splitlines())}
+    known = [v for v in stored if v in ranked]
+    unknown = [v for v in stored if v not in ranked]
+    return sorted(known, key=ranked.__getitem__) + unknown
+
+
+def _metric_values(store: PerfStore, version: str, figure: str, selector: str) -> list[float]:
+    values = [
+        value
+        for run in store.runs(version, figure)
+        if (value := extract_metric(run.manifest, selector)) is not None
+    ]
+    return values
+
+
+def perf_log(
+    store: PerfStore,
+    figure: str,
+    *,
+    selector: str = "total",
+    limit: int = 0,
+) -> list[dict]:
+    """Per-version distribution of one metric, oldest first.
+
+    ``limit`` keeps only the newest N versions (0 = all). Versions whose
+    runs lack the metric entirely still appear (``n == 0``) so gaps in a
+    lineage are visible rather than silently compacted.
+    """
+    parse_selector(selector)
+    entries: list[dict] = []
+    for version in version_order(store, figure):
+        values = _metric_values(store, version, figure, selector)
+        entries.append(
+            {
+                "version": version,
+                "figure": figure,
+                "selector": selector,
+                "n": len(values),
+                "summary": summarize(values).to_dict() if values else None,
+            }
+        )
+    if limit > 0:
+        entries = entries[-limit:]
+    return entries
+
+
+def bisect_hint(
+    store: PerfStore,
+    figure: str,
+    *,
+    selector: str = "total",
+    alpha: float = 0.05,
+    min_ratio: float = 1.10,
+    min_abs: float = 0.02,
+) -> dict:
+    """First regressed version-to-version transition for the metric.
+
+    Runs the degradation test on every consecutive pair of stored
+    versions (in lineage order) and reports each transition's verdict;
+    ``first_regression`` names the ``(good, bad)`` pair to hand to
+    ``git bisect``, or None when the lineage never regresses.
+    """
+    parse_selector(selector)
+    ordered = version_order(store, figure)
+    if len(ordered) < 2:
+        raise PerfStoreError(
+            "bisect-hint needs at least two stored versions",
+            store=str(store.root),
+            figure=figure,
+            stored=len(ordered),
+        )
+    transitions: list[dict] = []
+    first_regression: dict | None = None
+    for older, newer in zip(ordered, ordered[1:]):
+        base_vals = _metric_values(store, older, figure, selector)
+        cur_vals = _metric_values(store, newer, figure, selector)
+        if not base_vals or not cur_vals:
+            transitions.append(
+                {
+                    "from": older,
+                    "to": newer,
+                    "verdict": "no-data",
+                    "detail": f"metric missing ({len(base_vals)} vs {len(cur_vals)} runs)",
+                }
+            )
+            continue
+        verdict = degradation_test(
+            base_vals, cur_vals, alpha=alpha, min_ratio=min_ratio, min_abs=min_abs
+        )
+        transitions.append(
+            {
+                "from": older,
+                "to": newer,
+                "verdict": verdict.verdict,
+                "mode": verdict.mode,
+                "detail": verdict.detail,
+            }
+        )
+        if first_regression is None and verdict.verdict == "regressed":
+            first_regression = transitions[-1]
+    return {
+        "figure": figure,
+        "selector": selector,
+        "transitions": transitions,
+        "first_regression": first_regression,
+    }
+
+
+def render_perf_log(entries: Sequence[dict]) -> str:
+    """Fixed-width text table for ``sieve-repro perf log``."""
+    if not entries:
+        return "(no stored versions)"
+    lines = [
+        f"{'version':<14} {'n':>3} {'median':>12} {'mad':>10} "
+        f"{'ci-low':>12} {'ci-high':>12}"
+    ]
+    for entry in entries:
+        summary = entry["summary"]
+        if summary is None:
+            lines.append(f"{entry['version'][:12]:<14} {0:>3} {'(no data)':>12}")
+            continue
+        lines.append(
+            f"{entry['version'][:12]:<14} {summary['n']:>3} "
+            f"{summary['median']:>12.4f} {summary['mad']:>10.4f} "
+            f"{summary['ci_low']:>12.4f} {summary['ci_high']:>12.4f}"
+        )
+    return "\n".join(lines)
+
+
+def render_bisect_hint(hint: dict) -> str:
+    lines = [f"bisect hint for {hint['figure']} [{hint['selector']}]:"]
+    for transition in hint["transitions"]:
+        lines.append(
+            f"  {transition['from'][:12]} -> {transition['to'][:12]}: "
+            f"{transition['verdict']} — {transition['detail']}"
+        )
+    first = hint["first_regression"]
+    if first:
+        lines.append(
+            f"first regression between {first['from'][:12]} (good) and "
+            f"{first['to'][:12]} (bad) — start `git bisect` there"
+        )
+    else:
+        lines.append("no regressed transition found")
+    return "\n".join(lines)

@@ -1,0 +1,182 @@
+"""One-command promotion of fuzz findings into the adversarial suite.
+
+``sieve-repro fuzz promote --findings <dir>/findings.json`` turns each
+shrunk finding into an :class:`repro.workloads.adversarial.
+AdversarialEntry`: the spec is re-homed into the ``adversarial`` suite
+under a collision-free name, the per-method errors are re-measured live
+(pinned errors must reproduce on *this* checkout, not the campaign's),
+and provenance — campaign seed, candidate index, score, repro command —
+lands in the entry's note. Entries are appended to the promoted-catalog
+sidecar (:func:`repro.workloads.adversarial.promoted_catalog_path`),
+which the suite loads dynamically, and the promotion is registered in
+the perfstore as an attachment when ``SIEVE_PERFSTORE_DIR`` is set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from pathlib import Path
+
+from repro.fuzz.campaign import load_findings
+from repro.fuzz.mutation import Candidate
+from repro.observability import metrics
+from repro.perfstore.store import maybe_attach
+from repro.robustness import diagnostics
+from repro.utils.errors import PromotionError
+from repro.workloads.adversarial import (
+    AdversarialEntry,
+    _all_entries,
+    load_promoted_entries,
+    promoted_catalog_path,
+    save_promoted_entries,
+)
+
+
+def _unique_name(name: str, taken: set[str]) -> str:
+    """``name``, or ``name-p2``/``-p3``... until it no longer collides."""
+    if name not in taken:
+        return name
+    for i in range(2, 1000):
+        candidate = f"{name}-p{i}"
+        if candidate not in taken:
+            return candidate
+    raise PromotionError("cannot uniquify promoted entry name", name=name)
+
+
+def promote_findings(
+    findings_path: Path | str,
+    *,
+    engine=None,  # duck-typed EvaluationEngine
+    catalog_path: Path | str | None = None,
+    limit: int = 0,
+    min_score: float = 0.0,
+) -> list[AdversarialEntry]:
+    """Promote the shrunk findings in ``findings_path``; see module doc.
+
+    Findings already represented in the suite — same campaign
+    fingerprint and candidate index — are skipped, so promotion is
+    idempotent. ``limit`` caps how many findings promote (0 = all,
+    highest score first); ``min_score`` drops weak ones. Returns the
+    newly promoted entries (possibly empty).
+    """
+    from repro.evaluation.engine import (
+        EngineConfig,
+        EvaluationEngine,
+        EvaluationTask,
+    )
+
+    payload = load_findings(findings_path)
+    campaign = payload.get("campaign", {})
+    campaign_id = str(
+        campaign.get("fingerprint") or campaign.get("seed") or "unknown-campaign"
+    )
+    findings = sorted(
+        payload.get("findings", []),
+        key=lambda f: -float(f.get("shrunk_score", f["score"])["score"]),
+    )
+    if min_score > 0.0:
+        findings = [
+            f
+            for f in findings
+            if float(f.get("shrunk_score", f["score"])["score"]) >= min_score
+        ]
+    if limit > 0:
+        findings = findings[:limit]
+    if not findings:
+        return []
+
+    catalog_path = (
+        Path(catalog_path) if catalog_path is not None else promoted_catalog_path()
+    )
+    existing_promoted = list(load_promoted_entries(catalog_path))
+    already = {
+        (entry.campaign, entry.source_index)
+        for entry in existing_promoted
+        if entry.campaign
+    }
+    taken = {entry.spec.name for entry in _all_entries()}
+
+    if engine is None:
+        engine = EvaluationEngine(EngineConfig(jobs=1, use_cache=False))
+
+    methods = tuple(campaign.get("methods", ("sieve", "pks")))
+    max_invocations = int(campaign.get("max_invocations", 1200))
+
+    promoted: list[AdversarialEntry] = []
+    for finding in findings:
+        key = (campaign_id, int(finding["index"]))
+        if key in already:
+            diagnostics.emit(
+                "promote",
+                f"skipping finding #{finding['index']}: already promoted "
+                f"from campaign {campaign_id[:12]}",
+                severity="info",
+            )
+            continue
+        shrunk = Candidate.from_dict(finding["shrunk"])
+        name = _unique_name(shrunk.spec.name, taken)
+        spec = replace(shrunk.spec, name=name, suite="adversarial")
+        task = EvaluationTask(
+            label=spec.label,
+            max_invocations=max_invocations,
+            fault_plan=shrunk.fault_plan,
+            methods=methods,
+            spec=spec,
+        )
+        try:
+            results = engine.run([task])[0]
+        except Exception as exc:
+            raise PromotionError(
+                f"finding #{finding['index']} no longer evaluates: {exc}",
+                label=spec.label,
+            ) from exc
+        expected_errors = {
+            method: abs(results[method].error) for method in sorted(methods)
+        }
+        score = float(finding.get("shrunk_score", finding["score"])["score"])
+        entry = AdversarialEntry(
+            spec=spec,
+            max_invocations=max_invocations,
+            expected_errors=expected_errors,
+            fault_plan=shrunk.fault_plan,
+            campaign=campaign_id,
+            source_index=int(finding["index"]),
+            note=(
+                f"Promoted from fuzz campaign seed={campaign.get('seed')!r} "
+                f"candidate #{finding['index']} (shrunk from "
+                f"{finding['base_label']}, score {score:.4f}, "
+                f"{finding.get('shrink_steps', 0)} shrink steps). "
+                f"Repro: {finding.get('repro', 'n/a')}"
+            ),
+        )
+        promoted.append(entry)
+        existing_promoted.append(entry)
+        taken.add(name)
+        already.add(key)
+        metrics.inc("fuzz.promoted")
+
+    if promoted:
+        save_promoted_entries(existing_promoted, catalog_path)
+        maybe_attach(
+            "promotion",
+            f"{campaign_id[:16]}",
+            {
+                "campaign": dict(campaign),
+                "promoted": [entry.to_dict() for entry in promoted],
+                "catalog": str(catalog_path),
+            },
+        )
+    return promoted
+
+
+def render_promotion(promoted: list[AdversarialEntry]) -> str:
+    if not promoted:
+        return "no new findings to promote (all skipped or below --min-score)"
+    lines = [f"promoted {len(promoted)} finding(s) into the adversarial suite:"]
+    for entry in promoted:
+        errors = ", ".join(
+            f"{method}={value:.4f}" for method, value in entry.expected_errors.items()
+        )
+        lines.append(f"  {entry.label}: {errors} (from candidate #{entry.source_index})")
+    lines.append(f"catalog: {promoted_catalog_path()}")
+    return "\n".join(lines)

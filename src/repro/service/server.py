@@ -91,6 +91,11 @@ class SieveService:
         engine: EvaluationEngine | None = None,
     ):
         self.config = config or ServiceConfig()
+        # Zero-init the perfstore counter families so /v1/metrics exposes
+        # perfstore_* even before any ingest/lookup/gate happens.
+        from repro.perfstore.store import register_metrics as _register_perfstore
+
+        _register_perfstore()
         self._owns_engine = engine is None
         self.engine = engine or EvaluationEngine(self.config.engine_config())
         self.dispatcher = BatchingDispatcher(

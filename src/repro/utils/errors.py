@@ -178,3 +178,15 @@ class CheckpointError(FuzzError):
     """A campaign checkpoint is unreadable or belongs to a different
     campaign configuration. Context: ``path``, plus the mismatching
     fields when known."""
+
+
+class PerfStoreError(SieveError):
+    """The performance version store was misused or is corrupt (unknown
+    version, unreadable object, index/schema mismatch, a revision that
+    resolves to nothing). Context: ``store`` plus the offending key."""
+
+
+class PromotionError(FuzzError):
+    """Promoting fuzz findings into the adversarial catalog failed
+    (unreadable findings, a label collision that cannot be uniquified,
+    an entry whose pinned error no longer reproduces)."""

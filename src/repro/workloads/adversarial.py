@@ -22,15 +22,27 @@ then promote findings from ``<dir>/findings.json`` (see DESIGN.md §12).
 
 from __future__ import annotations
 
+import json
+import os
 from dataclasses import dataclass
-from typing import Mapping
+from pathlib import Path
+from typing import Iterable, Mapping
 
 from repro.robustness.faults import FaultPlan, FaultSpec
+from repro.utils.errors import PromotionError
 from repro.workloads.spec import KernelBehavior, WorkloadSpec
 
 #: Pinned errors are exact reproductions of a deterministic pipeline;
 #: the tolerance only absorbs float reassociation across platforms.
 ERROR_TOLERANCE = 1e-9
+
+#: Schema of the promoted-entries sidecar catalog (see
+#: :func:`promoted_catalog_path`).
+PROMOTED_SCHEMA = 1
+
+#: Env override for where promoted entries live — tests and ephemeral
+#: campaigns point this at a scratch file instead of the committed one.
+PROMOTED_ENV = "SIEVE_ADVERSARIAL_PROMOTED"
 
 
 @dataclass(frozen=True)
@@ -53,12 +65,58 @@ class AdversarialEntry:
     def label(self) -> str:
         return self.spec.label
 
+    def to_dict(self) -> dict:
+        """JSON-ready form (the promoted-catalog sidecar format)."""
+        fault_plan = None
+        if self.fault_plan is not None:
+            fault_plan = {
+                "seed": self.fault_plan.seed,
+                "specs": [
+                    {"mode": s.mode, "rate": s.rate} for s in self.fault_plan.specs
+                ],
+            }
+        return {
+            "spec": self.spec.to_dict(),
+            "max_invocations": self.max_invocations,
+            "expected_errors": {
+                k: float(v) for k, v in sorted(self.expected_errors.items())
+            },
+            "fault_plan": fault_plan,
+            "campaign": self.campaign,
+            "source_index": self.source_index,
+            "note": self.note,
+        }
 
-#: Promoted findings from campaign ``ispass-2023-adversarial`` (budget
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "AdversarialEntry":
+        plan_payload = payload.get("fault_plan")
+        fault_plan = None
+        if plan_payload is not None:
+            fault_plan = FaultPlan(
+                specs=tuple(
+                    FaultSpec(mode=s["mode"], rate=float(s["rate"]))
+                    for s in plan_payload["specs"]
+                ),
+                seed=int(plan_payload["seed"]),
+            )
+        return cls(
+            spec=WorkloadSpec.from_dict(payload["spec"]),
+            max_invocations=int(payload["max_invocations"]),
+            expected_errors={
+                k: float(v) for k, v in payload["expected_errors"].items()
+            },
+            fault_plan=fault_plan,
+            campaign=str(payload.get("campaign", "")),
+            source_index=int(payload.get("source_index", -1)),
+            note=str(payload.get("note", "")),
+        )
+
+
+#: Hand-curated findings from campaign ``ispass-2023-adversarial`` (budget
 #: 24, threshold 0.10, max_invocations 1200). Pinned errors were
 #: measured at each entry's ``max_invocations`` with default method
 #: configs; see ``tests/fuzz/test_adversarial_suite.py``.
-ADVERSARIAL_ENTRIES: tuple[AdversarialEntry, ...] = (
+_STATIC_ENTRIES: tuple[AdversarialEntry, ...] = (
     AdversarialEntry(
         spec=WorkloadSpec(
             name="srad-negative-insn",
@@ -201,9 +259,81 @@ ADVERSARIAL_ENTRIES: tuple[AdversarialEntry, ...] = (
     ),
 )
 
-ADVERSARIAL_SPECS: tuple[WorkloadSpec, ...] = tuple(
-    entry.spec for entry in ADVERSARIAL_ENTRIES
-)
+def promoted_catalog_path() -> Path:
+    """Where ``sieve-repro fuzz promote`` lands entries.
+
+    ``$SIEVE_ADVERSARIAL_PROMOTED`` wins; the default is a JSON sidecar
+    next to this module so the promoted suite is committed alongside the
+    hand-curated one.
+    """
+    configured = os.environ.get(PROMOTED_ENV)
+    if configured:
+        return Path(configured)
+    return Path(__file__).with_name("adversarial_promoted.json")
+
+
+def load_promoted_entries(
+    path: Path | str | None = None,
+) -> tuple[AdversarialEntry, ...]:
+    """Entries from the promoted-catalog sidecar (empty when absent)."""
+    path = Path(path) if path is not None else promoted_catalog_path()
+    if not path.exists():
+        return ()
+    try:
+        payload = json.loads(path.read_text())
+    except (OSError, ValueError) as exc:
+        raise PromotionError(
+            f"unreadable promoted catalog {path}: {exc}", path=str(path)
+        ) from exc
+    if payload.get("schema") != PROMOTED_SCHEMA:
+        raise PromotionError(
+            "promoted catalog schema mismatch",
+            path=str(path),
+            found=payload.get("schema"),
+            expected=PROMOTED_SCHEMA,
+        )
+    return tuple(
+        AdversarialEntry.from_dict(entry) for entry in payload.get("entries", [])
+    )
+
+
+def save_promoted_entries(
+    entries: "Iterable[AdversarialEntry]", path: Path | str | None = None
+) -> Path:
+    """Write the promoted catalog atomically (sorted by label)."""
+    import tempfile
+
+    path = Path(path) if path is not None else promoted_catalog_path()
+    ordered = sorted(entries, key=lambda e: e.label)
+    payload = {
+        "schema": PROMOTED_SCHEMA,
+        "entries": [entry.to_dict() for entry in ordered],
+    }
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(dir=path.parent, prefix=".tmp-")
+    with os.fdopen(fd, "w") as handle:
+        handle.write(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    os.replace(tmp, path)
+    return path
+
+
+def _all_entries() -> tuple[AdversarialEntry, ...]:
+    """Static entries plus whatever the promoted catalog holds *now*.
+
+    Computed per call (not cached) so a promotion in-process is visible
+    to the next ``verify_suite``/catalog access without reimports.
+    """
+    return _STATIC_ENTRIES + load_promoted_entries()
+
+
+def __getattr__(name: str):
+    # PEP 562: ADVERSARIAL_ENTRIES/ADVERSARIAL_SPECS stay importable but
+    # are computed per access so promoted entries join the suite live.
+    if name == "ADVERSARIAL_ENTRIES":
+        return _all_entries()
+    if name == "ADVERSARIAL_SPECS":
+        return tuple(entry.spec for entry in _all_entries())
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 def verify_suite(engine=None) -> list[dict]:
@@ -223,7 +353,7 @@ def verify_suite(engine=None) -> list[dict]:
     if engine is None:
         engine = EvaluationEngine(EngineConfig(jobs=1, use_cache=False))
     rows: list[dict] = []
-    for entry in ADVERSARIAL_ENTRIES:
+    for entry in _all_entries():
         task = EvaluationTask(
             label=entry.label,
             max_invocations=entry.max_invocations,

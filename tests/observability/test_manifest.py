@@ -13,6 +13,7 @@ from repro.observability.manifest import (
     aggregate_stages,
     collect_manifest,
     diff_manifests,
+    regression_failures,
 )
 from repro.observability.spans import span
 
@@ -159,6 +160,45 @@ def test_diff_flags_missing_stage_and_workload():
     kinds = {(r.kind, r.name) for r in diff_manifests(baseline, current)}
     assert ("stage-missing", "a") in kinds
     assert ("accuracy", "w") in kinds
+
+
+def test_diff_reports_new_stage_as_info_not_failure():
+    baseline = _manifest(1.0, [("a", 0.9)])
+    current = _manifest(1.0, [("a", 0.9), ("b", 0.3)])
+    regressions = diff_manifests(baseline, current)
+    by_kind = {(r.kind, r.name): r for r in regressions}
+    row = by_kind[("stage-new", "b")]
+    assert row.severity == "info"
+    assert not row.failed
+    assert regression_failures(regressions) == []  # info rows never gate
+
+
+def test_diff_ignores_new_stage_below_floor():
+    baseline = _manifest(1.0, [("a", 0.9)])
+    current = _manifest(1.0, [("a", 0.9), ("blip", 0.001)])
+    assert diff_manifests(baseline, current) == []
+
+
+def test_diff_zero_baseline_wall_is_informational():
+    # A 0-second baseline wall must not produce a millions-of-x ratio:
+    # the current measurement is reported as info, never as a failure.
+    baseline = _manifest(0.0, [("a", 0.0)])
+    current = _manifest(3.0, [("a", 3.0)])
+    regressions = diff_manifests(baseline, current)
+    assert regressions  # visible, not silently skipped
+    assert all(r.severity == "info" for r in regressions)
+    assert regression_failures(regressions) == []
+    details = {r.detail for r in regressions}
+    assert any("no usable baseline wall" in d for d in details)
+
+
+def test_diff_removed_stage_still_fails():
+    baseline = _manifest(1.0, [("a", 0.9)])
+    current = _manifest(1.0, [("b", 0.9)])
+    regressions = diff_manifests(baseline, current)
+    removed = [r for r in regressions if r.kind == "stage-missing"]
+    assert removed and removed[0].severity == "fail" and removed[0].failed
+    assert removed[0] in regression_failures(regressions)
 
 
 def test_diff_flags_accuracy_and_aggregate_drift():

@@ -1,0 +1,37 @@
+"""Shared fixtures for the perfstore tests."""
+
+import pytest
+
+from repro.observability import metrics
+from repro.observability.manifest import RunManifest, StageStat
+
+
+@pytest.fixture(autouse=True)
+def _clean_metrics():
+    metrics.get_registry().reset()
+    yield
+    metrics.get_registry().reset()
+
+
+def make_manifest(
+    total=1.0,
+    stages=(("stratify", 0.6), ("select", 0.4)),
+    workloads=(),
+    aggregates=None,
+    config=None,
+    command="bench fig3",
+    created="2026-01-01T00:00:00+00:00",
+):
+    """A synthetic RunManifest for store/gate tests."""
+    return RunManifest(
+        command=command,
+        created=created,
+        config=dict(config or {"cap": 400, "jobs": 1}),
+        total_wall_s=total,
+        stages=tuple(
+            StageStat(name=n, count=1, wall_s=w, self_s=w, cpu_s=w)
+            for n, w in stages
+        ),
+        workloads=tuple(workloads),
+        aggregates=dict(aggregates or {}),
+    )

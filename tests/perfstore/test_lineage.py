@@ -1,0 +1,123 @@
+"""Lineage walking: selectors, per-version log, bisect hints."""
+
+import pytest
+
+from repro.perfstore.lineage import (
+    bisect_hint,
+    extract_metric,
+    parse_selector,
+    perf_log,
+    render_bisect_hint,
+    render_perf_log,
+    version_order,
+)
+from repro.perfstore.store import PerfStore
+from repro.utils.errors import PerfStoreError
+
+from .conftest import make_manifest
+
+JITTER = (0.97, 1.00, 1.03)
+
+
+def seeded_store(tmp_path):
+    """v-old and v-mid run at 1x, v-new at 2x; three runs each."""
+    store = PerfStore(tmp_path)
+    for version, factor in (("v-old", 1.0), ("v-mid", 1.0), ("v-new", 2.0)):
+        for j in JITTER:
+            store.ingest(
+                make_manifest(
+                    total=2.0 * factor * j,
+                    stages=(("stratify", 1.2 * factor * j),),
+                    aggregates={"sieve_avg": 0.01 * factor},
+                    workloads=[{"workload": "w", "sieve_error": 0.01 * factor}],
+                ),
+                version=version,
+            )
+    return store
+
+
+def test_parse_selector_accepts_the_four_kinds():
+    assert parse_selector("total") == ("total", "")
+    assert parse_selector("stage:stratify") == ("stage", "stratify")
+    assert parse_selector("agg:sieve_avg") == ("agg", "sieve_avg")
+    assert parse_selector("workload:w.sieve_error") == ("workload", "w.sieve_error")
+    with pytest.raises(PerfStoreError):
+        parse_selector("stage:")
+    with pytest.raises(PerfStoreError):
+        parse_selector("bogus")
+
+
+def test_extract_metric_per_selector():
+    manifest = make_manifest(
+        total=2.0,
+        stages=(("stratify", 1.2),),
+        aggregates={"sieve_avg": 0.01},
+        workloads=[{"workload": "w", "sieve_error": 0.03}],
+    )
+    assert extract_metric(manifest, "total") == 2.0
+    assert extract_metric(manifest, "stage:stratify") == 1.2
+    assert extract_metric(manifest, "stage:nope") is None
+    assert extract_metric(manifest, "agg:sieve_avg") == 0.01
+    assert extract_metric(manifest, "agg:nope") is None
+    assert extract_metric(manifest, "workload:w.sieve_error") == 0.03
+    assert extract_metric(manifest, "workload:other.sieve_error") is None
+    with pytest.raises(PerfStoreError):
+        extract_metric(manifest, "workload:w")  # missing .key
+
+
+def test_version_order_falls_back_to_ingest_order(tmp_path):
+    # These labels are not commits of this repo, so git ranking knows
+    # nothing about them and first-ingest order must survive.
+    store = seeded_store(tmp_path)
+    assert version_order(store) == ["v-old", "v-mid", "v-new"]
+    assert version_order(store, "fig3") == ["v-old", "v-mid", "v-new"]
+    assert version_order(store, "fig9") == []
+
+
+def test_perf_log_reports_distributions_and_gaps(tmp_path):
+    store = seeded_store(tmp_path)
+    store.ingest(make_manifest(total=1.0, stages=()), version="v-gap")
+    entries = perf_log(store, "fig3", selector="stage:stratify")
+    assert [e["version"] for e in entries] == ["v-old", "v-mid", "v-new", "v-gap"]
+    assert [e["n"] for e in entries] == [3, 3, 3, 0]
+    assert entries[-1]["summary"] is None  # gap is visible, not dropped
+    assert entries[0]["summary"]["median"] == pytest.approx(1.2)
+    assert entries[2]["summary"]["median"] == pytest.approx(2.4)
+
+    limited = perf_log(store, "fig3", limit=2)
+    assert [e["version"] for e in limited] == ["v-new", "v-gap"]
+
+    text = render_perf_log(entries)
+    assert "median" in text and "(no data)" in text
+    assert render_perf_log([]) == "(no stored versions)"
+
+
+def test_bisect_hint_names_the_first_regressed_transition(tmp_path):
+    store = seeded_store(tmp_path)
+    hint = bisect_hint(store, "fig3")
+    verdicts = [t["verdict"] for t in hint["transitions"]]
+    assert verdicts == ["indistinguishable", "regressed"]
+    first = hint["first_regression"]
+    assert (first["from"], first["to"]) == ("v-mid", "v-new")
+    text = render_bisect_hint(hint)
+    assert "v-mid" in text and "(bad)" in text and "git bisect" in text
+
+
+def test_bisect_hint_clean_lineage_and_selector_gaps(tmp_path):
+    store = PerfStore(tmp_path)
+    for version in ("a1", "b2"):
+        for j in JITTER:
+            store.ingest(make_manifest(total=1.0 * j), version=version)
+    hint = bisect_hint(store, "fig3")
+    assert hint["first_regression"] is None
+    assert "no regressed transition" in render_bisect_hint(hint)
+
+    gappy = bisect_hint(store, "fig3", selector="stage:never-ran")
+    assert all(t["verdict"] == "no-data" for t in gappy["transitions"])
+
+
+def test_bisect_hint_needs_two_versions(tmp_path):
+    store = PerfStore(tmp_path)
+    store.ingest(make_manifest(), version="only")
+    with pytest.raises(PerfStoreError, match="at least two"):
+        bisect_hint(store, "fig3")

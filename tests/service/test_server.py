@@ -176,6 +176,14 @@ def test_metrics_expose_valid_prometheus_text(client):
     families = parse_prometheus(text)
     assert "service_requests_total" in families
     assert "service_latency_s" in families
+    # The perfstore counter families are zero-registered at startup, so
+    # a service that never touched the store still exposes them.
+    for family in (
+        "perfstore_ingest_total",
+        "perfstore_lookup_total",
+        "perfstore_gate_total",
+    ):
+        assert family in families
     select_count = sum(
         value
         for name, labels, value in families["service_requests_total"]["samples"]
